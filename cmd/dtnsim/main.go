@@ -1,0 +1,326 @@
+// Command dtnsim runs one onion-routing scenario on a random contact
+// graph and reports delivery, cost, and security metrics side by side
+// with the paper's analytical models. Non-anonymous baselines
+// (epidemic, spray-and-wait, direct) are available for comparison.
+//
+// Usage:
+//
+//	dtnsim -n 100 -g 5 -k 3 -l 3 -deadline 600 -compromised 0.1
+//	dtnsim -protocol epidemic -deadline 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/contact"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dtnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dtnsim", flag.ContinueOnError)
+	var (
+		protocol    = fs.String("protocol", "onion", "onion | runtime | epidemic | sprayandwait | binaryspray | prophet | direct")
+		n           = fs.Int("n", 100, "number of nodes")
+		g           = fs.Int("g", 5, "onion group size")
+		k           = fs.Int("k", 3, "number of onion groups (K)")
+		l           = fs.Int("l", 1, "number of message copies (L)")
+		spray       = fs.Bool("spray", true, "enable source spray-and-wait augmentation (L >= 2)")
+		deadline    = fs.Float64("deadline", 600, "message deadline T, minutes")
+		runs        = fs.Int("runs", 500, "number of routed messages")
+		seed        = fs.Uint64("seed", 1, "root random seed")
+		compromised = fs.Float64("compromised", 0.1, "compromised node fraction c/n")
+		graphPath   = fs.String("graph", "", "load the contact graph from a file (contact exchange format)")
+		saveGraph   = fs.String("save-graph", "", "save the generated contact graph to a file")
+		tracePath   = fs.String("trace", "", "replay a contact trace file instead of a synthetic graph (onion protocol only; deadline in seconds)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *tracePath != "" {
+		if *protocol != "onion" {
+			return fmt.Errorf("trace replay supports only the onion protocol")
+		}
+		return runTrace(out, *tracePath, *g, *k, *l, *spray, *deadline, *runs, *seed)
+	}
+	switch *protocol {
+	case "onion":
+		return runOnion(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *compromised, *graphPath, *saveGraph)
+	case "runtime":
+		return runRuntime(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed)
+	case "epidemic", "sprayandwait", "binaryspray", "prophet", "direct":
+		return runBaseline(out, *protocol, *n, *l, *deadline, *runs, *seed)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+}
+
+func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64, frac float64, graphPath, saveGraph string) error {
+	cfg := core.Config{
+		Nodes: n, GroupSize: g, Relays: k, Copies: l, Spray: spray,
+		MinICT: 1, MaxICT: 360, Seed: seed,
+	}
+	var nw *core.Network
+	var err error
+	if graphPath != "" {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return fmt.Errorf("open graph: %w", err)
+		}
+		loaded, perr := contact.ReadGraph(f)
+		if cerr := f.Close(); cerr != nil && perr == nil {
+			perr = cerr
+		}
+		if perr != nil {
+			return perr
+		}
+		cfg.Nodes = loaded.N()
+		nw, err = core.NewNetworkWithGraph(cfg, loaded)
+		if err != nil {
+			return err
+		}
+	} else {
+		nw, err = core.NewNetwork(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if saveGraph != "" {
+		f, err := os.Create(saveGraph)
+		if err != nil {
+			return fmt.Errorf("create graph file: %w", err)
+		}
+		if _, err := nw.Graph().WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	var delivered int
+	var delay, tx, modelDelivery stats.Accumulator
+	var simTrace, simAnon stats.Accumulator
+	for i := 0; i < runs; i++ {
+		trial, err := nw.NewTrial(i)
+		if err != nil {
+			return err
+		}
+		res, err := nw.Route(trial, deadline, true, i)
+		if err != nil {
+			return err
+		}
+		if res.Delivered {
+			delivered++
+			delay.Add(res.Time)
+		}
+		tx.Add(float64(res.Transmissions))
+		m, err := nw.ModelDelivery(trial, deadline)
+		if err != nil {
+			return err
+		}
+		modelDelivery.Add(m)
+		if sec, ok, err := nw.SecurityFromResult(res, frac, i); err != nil {
+			return err
+		} else if ok {
+			simTrace.Add(sec.TraceableRate)
+			simAnon.Add(sec.PathAnonymity)
+		}
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scenario\tn=%d g=%d K=%d L=%d spray=%v T=%v min c/n=%.0f%%\n",
+		n, g, k, l, spray, deadline, frac*100)
+	fmt.Fprintf(tw, "metric\tsimulation\tanalysis\n")
+	fmt.Fprintf(tw, "delivery rate\t%.4f\t%.4f\n", float64(delivered)/float64(runs), modelDelivery.Mean())
+	if delivered > 0 {
+		fmt.Fprintf(tw, "mean delay (min)\t%.1f\t-\n", delay.Mean())
+	}
+	fmt.Fprintf(tw, "transmissions\t%.2f\t<= %d\n", tx.Mean(), model.CostMultiCopyBound(k, l))
+	fmt.Fprintf(tw, "traceable rate\t%.4f\t%.4f\n", simTrace.Mean(), nw.ModelTraceableRate(frac))
+	fmt.Fprintf(tw, "path anonymity\t%.4f\t%.4f\n", simAnon.Mean(), nw.ModelPathAnonymity(frac))
+	return tw.Flush()
+}
+
+func runBaseline(out io.Writer, name string, n, l int, deadline float64, runs int, seed uint64) error {
+	root := rng.New(seed)
+	g := contactGraph(n, root)
+	var delivered int
+	var delay, tx stats.Accumulator
+	for i := 0; i < runs; i++ {
+		s := root.SplitN("run", i)
+		src := s.IntN(n)
+		dst := s.PickOther(n, src)
+		var (
+			proto sim.Protocol
+			res   func() routing.BaselineResult
+		)
+		switch name {
+		case "epidemic":
+			p, err := routing.NewEpidemic(nodeID(src), nodeID(dst), 0)
+			if err != nil {
+				return err
+			}
+			proto, res = p, p.Result
+		case "sprayandwait":
+			p, err := routing.NewSprayAndWait(nodeID(src), nodeID(dst), l, 0)
+			if err != nil {
+				return err
+			}
+			proto, res = p, p.Result
+		case "binaryspray":
+			p, err := routing.NewBinarySprayAndWait(nodeID(src), nodeID(dst), l, 0)
+			if err != nil {
+				return err
+			}
+			proto, res = p, p.Result
+		case "prophet":
+			p, err := routing.NewProphet(n, nodeID(src), nodeID(dst), 0, routing.ProphetConfig{})
+			if err != nil {
+				return err
+			}
+			proto, res = p, p.Result
+		case "direct":
+			p, err := routing.NewDirect(nodeID(src), nodeID(dst), 0)
+			if err != nil {
+				return err
+			}
+			proto, res = p, p.Result
+		}
+		sim.RunSynthetic(g, deadline, s.Split("contacts"), proto)
+		r := res()
+		if r.Delivered {
+			delivered++
+			delay.Add(r.Time)
+		}
+		tx.Add(float64(r.Transmissions))
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "protocol\t%s (non-anonymous baseline)\n", name)
+	fmt.Fprintf(tw, "delivery rate\t%.4f\n", float64(delivered)/float64(runs))
+	if delivered > 0 {
+		fmt.Fprintf(tw, "mean delay (min)\t%.1f\n", delay.Mean())
+	}
+	fmt.Fprintf(tw, "transmissions\t%.2f\n", tx.Mean())
+	return tw.Flush()
+}
+
+func contactGraph(n int, root *rng.Stream) *contact.Graph {
+	return contact.NewRandom(n, 1, 360, root.Split("graph"))
+}
+
+func nodeID(v int) contact.NodeID { return contact.NodeID(v) }
+
+// runTrace replays a contact trace file (deadline interpreted in
+// seconds, as in the paper's trace figures).
+func runTrace(out io.Writer, path string, g, k, l int, spray bool, deadline float64, runs int, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	tr, perr := trace.ParseReader(f)
+	if cerr := f.Close(); cerr != nil && perr == nil {
+		perr = cerr
+	}
+	if perr != nil {
+		return perr
+	}
+	tn, err := core.NewTraceNetwork(tr, seed)
+	if err != nil {
+		return err
+	}
+	var delivered int
+	var delay, tx stats.Accumulator
+	var modelAcc stats.Accumulator
+	modelled := 0
+	for i := 0; i < runs; i++ {
+		trial, err := tn.NewTrial(i, g, k)
+		if err != nil {
+			return err
+		}
+		res, err := tn.Route(trial, deadline, l, spray, true)
+		if err != nil {
+			return err
+		}
+		if res.Delivered {
+			delivered++
+			delay.Add(res.Time - trial.Start)
+		}
+		tx.Add(float64(res.Transmissions))
+		if m, ok, err := tn.ModelDelivery(trial, deadline, l); err != nil {
+			return err
+		} else if ok {
+			modelAcc.Add(m)
+			modelled++
+		}
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "trace\t%s (%d nodes, %d contacts)\n", path, tr.NodeCount, len(tr.Contacts))
+	fmt.Fprintf(tw, "scenario\tg=%d K=%d L=%d spray=%v T=%v s\n", g, k, l, spray, deadline)
+	fmt.Fprintf(tw, "delivery rate\t%.4f (analysis %.4f over %d/%d fitted trials)\n",
+		float64(delivered)/float64(runs), modelAcc.Mean(), modelled, runs)
+	if delivered > 0 {
+		fmt.Fprintf(tw, "mean delay (s)\t%.0f\n", delay.Mean())
+	}
+	fmt.Fprintf(tw, "transmissions\t%.2f\n", tx.Mean())
+	return tw.Flush()
+}
+
+// runRuntime offers a Poisson stream of fully encrypted messages to
+// the message-level runtime (internal/node) — the system-test view.
+func runRuntime(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64) error {
+	nw, err := node.NewNetwork(node.Config{
+		Nodes: n, GroupSize: g, Seed: seed, Spray: spray, AntiPackets: true,
+	})
+	if err != nil {
+		return err
+	}
+	graph := contactGraph(n, rng.New(seed))
+	res, err := workload.Run(nw, graph, workload.Spec{
+		Messages:     runs,
+		ArrivalRate:  1,
+		PayloadSize:  256,
+		Relays:       k,
+		Copies:       l,
+		PadTo:        2048,
+		ExpiryAfter:  deadline,
+		Seed:         seed,
+		TrackBuffers: true,
+	}, float64(runs)+2*deadline)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "runtime\t%d nodes, real AES-GCM onions, anti-packets on\n", n)
+	fmt.Fprintf(tw, "offered\t%d messages (Poisson, 1/min), K=%d L=%d spray=%v, T=%v min\n",
+		runs, k, l, spray, deadline)
+	fmt.Fprintf(tw, "delivery rate\t%.4f\n", res.DeliveryRate)
+	if res.Delivered > 0 {
+		fmt.Fprintf(tw, "mean delay (min)\t%.1f\n", res.Delay.Mean)
+	}
+	fmt.Fprintf(tw, "peak buffered onions\t%d\n", res.PeakBuffered)
+	fmt.Fprintf(tw, "hand-offs\t%d (rejected %d, refused %d, purged %d, expired %d)\n",
+		res.Totals.Forwarded, res.Totals.Rejected, res.Totals.Refused,
+		res.Totals.Purged, res.Totals.Expired)
+	return tw.Flush()
+}

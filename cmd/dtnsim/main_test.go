@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestRunOnionScenario(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "40", "-g", "4", "-k", "2", "-l", "2", "-runs", "50", "-deadline", "300"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"delivery rate", "transmissions", "traceable rate", "path anonymity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, proto := range []string{"epidemic", "sprayandwait", "binaryspray", "prophet", "direct"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-protocol", proto, "-n", "20", "-runs", "30", "-deadline", "200"}, &buf); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if !strings.Contains(buf.String(), proto) {
+			t.Fatalf("%s: output missing protocol name:\n%s", proto, buf.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-protocol", "warpdrive"}, &buf); err == nil {
+		t.Fatal("accepted unknown protocol")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}
+
+func TestEpidemicDeliversMoreThanDirect(t *testing.T) {
+	var epi, dir bytes.Buffer
+	if err := run([]string{"-protocol", "epidemic", "-n", "30", "-runs", "100", "-deadline", "100"}, &epi); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-protocol", "direct", "-n", "30", "-runs", "100", "-deadline", "100"}, &dir); err != nil {
+		t.Fatal(err)
+	}
+	if extractRate(t, epi.String()) < extractRate(t, dir.String()) {
+		t.Fatalf("epidemic below direct:\n%s\n%s", epi.String(), dir.String())
+	}
+}
+
+func extractRate(t *testing.T, out string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "delivery rate") {
+			fields := strings.Fields(line)
+			var v float64
+			if _, err := fmt.Sscan(fields[len(fields)-1], &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no delivery rate in output:\n%s", out)
+	return 0
+}
+
+func TestGraphSaveAndLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/g.graph"
+	var first bytes.Buffer
+	if err := run([]string{"-n", "25", "-runs", "40", "-deadline", "400", "-save-graph", path}, &first); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := run([]string{"-graph", path, "-runs", "40", "-deadline", "400"}, &second); err != nil {
+		t.Fatal(err)
+	}
+	// Same graph + same seed => identical scenario output.
+	if extractRate(t, first.String()) != extractRate(t, second.String()) {
+		t.Fatalf("loaded graph gave a different delivery rate:\n%s\n%s", first.String(), second.String())
+	}
+}
+
+func TestTraceReplayMode(t *testing.T) {
+	// Generate a small trace, then replay it.
+	tr, err := trace.Generate(trace.DiurnalConfig{
+		Nodes: 15, Days: 2, DayStartHour: 9, DayEndHour: 17,
+		SessionMinutes: 480, MeanICT: 200, ContactSeconds: 30, PairProb: 1,
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/t.trace"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-g", "4", "-k", "2", "-runs", "30", "-deadline", "7200"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace") || !strings.Contains(buf.String(), "delivery rate") {
+		t.Fatalf("trace output:\n%s", buf.String())
+	}
+	// Trace mode rejects baselines.
+	if err := run([]string{"-trace", path, "-protocol", "epidemic"}, &buf); err == nil {
+		t.Fatal("trace replay accepted a baseline protocol")
+	}
+}
+
+func TestRuntimeMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-protocol", "runtime", "-n", "25", "-runs", "15", "-l", "2", "-deadline", "400"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"runtime", "delivery rate", "peak buffered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command figures regenerates the paper's evaluation figures
+// (Figs. 4-19). For each figure it can print an ASCII plot and write a
+// tidy CSV next to it.
+//
+// Usage:
+//
+//	figures -fig all -out results/
+//	figures -fig fig11 -runs 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		figID        = fs.String("fig", "all", "figure to generate: fig04..fig19, a number like 11, an ablation-* id, 'all', 'ablations', or 'everything'")
+		outDir       = fs.String("out", "", "directory for CSV output (omit to skip CSV)")
+		runs         = fs.Int("runs", 0, "routed messages per delivery/cost point (0 = default)")
+		securityRuns = fs.Int("security-runs", 0, "sampled paths per security point (0 = default)")
+		traceRuns    = fs.Int("trace-runs", 0, "routed messages per trace figure (0 = default)")
+		seed         = fs.Uint64("seed", 1, "root random seed")
+		noPlot       = fs.Bool("no-plot", false, "suppress ASCII plots")
+		jsonOut      = fs.Bool("json", false, "also write .json files when -out is set")
+		parallel     = fs.Int("parallel", 1, "figures generated concurrently")
+		width        = fs.Int("width", 72, "plot width")
+		height       = fs.Int("height", 18, "plot height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := experiment.DefaultOptions()
+	opt.Seed = *seed
+	if *runs > 0 {
+		opt.Runs = *runs
+	}
+	if *securityRuns > 0 {
+		opt.SecurityRuns = *securityRuns
+	}
+	if *traceRuns > 0 {
+		opt.TraceRuns = *traceRuns
+	}
+
+	reg, ids := experiment.Registry()
+	ablReg, ablIDs := experiment.AblationRegistry()
+	for id, gen := range ablReg {
+		reg[id] = gen
+	}
+	var selected []string
+	switch *figID {
+	case "all":
+		selected = ids
+	case "ablations":
+		selected = ablIDs
+	case "everything":
+		selected = append(append([]string(nil), ids...), ablIDs...)
+	default:
+		id := *figID
+		if len(id) <= 2 { // allow "-fig 4" and "-fig 11"
+			id = fmt.Sprintf("fig%02s", id)
+		}
+		if _, ok := reg[id]; !ok {
+			return fmt.Errorf("unknown figure %q (known: %v + %v)", *figID, ids, ablIDs)
+		}
+		selected = []string{id}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	figures := make([]*experiment.Figure, len(selected))
+	elapsed := make([]time.Duration, len(selected))
+	errs := make([]error, len(selected))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for idx, id := range selected {
+		idx, id := idx, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			fig, err := reg[id](opt)
+			if err == nil {
+				err = fig.Validate()
+			}
+			figures[idx], elapsed[idx], errs[idx] = fig, time.Since(start), err
+		}()
+	}
+	wg.Wait()
+
+	for idx, id := range selected {
+		if errs[idx] != nil {
+			return fmt.Errorf("%s: %w", id, errs[idx])
+		}
+		fig := figures[idx]
+		if !*noPlot {
+			fmt.Fprint(out, fig.Render(*width, *height))
+			fmt.Fprintf(out, "          generated in %v\n\n", elapsed[idx].Round(time.Millisecond))
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+			if *jsonOut {
+				data, err := fig.JSON()
+				if err != nil {
+					return err
+				}
+				jpath := filepath.Join(*outDir, id+".json")
+				if err := os.WriteFile(jpath, data, 0o644); err != nil {
+					return fmt.Errorf("write %s: %w", jpath, err)
+				}
+				fmt.Fprintf(out, "wrote %s\n", jpath)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSingleFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-fig", "fig06", "-out", dir, "-no-plot",
+		"-runs", "20", "-security-runs", "50", "-trace-runs", "5",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig06.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y,ci\n") {
+		t.Fatalf("csv header wrong: %q", string(data)[:40])
+	}
+	if !strings.Contains(string(data), "Analysis: 3 onions") {
+		t.Fatal("csv missing analysis series")
+	}
+}
+
+func TestNumericFigureAlias(t *testing.T) {
+	err := run([]string{
+		"-fig", "8", "-no-plot",
+		"-runs", "10", "-security-runs", "30", "-trace-runs", "5",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two-digit alias.
+	err = run([]string{
+		"-fig", "13", "-no-plot",
+		"-runs", "10", "-security-runs", "30", "-trace-runs", "5",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}, os.Stdout); err == nil {
+		t.Fatal("accepted unknown figure")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, os.Stdout); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}
+
+func TestParallelWithJSON(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-fig", "ablations", "-out", dir, "-no-plot", "-json", "-parallel", "4",
+		"-runs", "20", "-security-runs", "50", "-trace-runs", "5",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ablation-traceable.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig struct {
+		ID     string `json:"id"`
+		Series []struct {
+			Name string    `json:"name"`
+			X    []float64 `json:"x"`
+			Y    []float64 `json:"y"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(data, &fig); err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "ablation-traceable" || len(fig.Series) != 3 {
+		t.Fatalf("json content: %+v", fig)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportGeneratesMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all figures")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "EXPERIMENTS.md")
+	err := run([]string{
+		"-out", out,
+		"-runs", "40", "-security-runs", "200", "-trace-runs", "10",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"Claim check summary:",
+		"### FIG04", "### FIG11", "### FIG17", "### FIG19",
+		"### ABLATION-TPS",
+		"| Paper claim | Result | Measured |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(md, claimSummaryPlaceholder) {
+		t.Error("summary placeholder not replaced")
+	}
+}
+
+func TestReportBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}
+
+func TestMdEscape(t *testing.T) {
+	if got := mdEscape("a|b\nc"); got != "a\\|b c" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Command sweep varies one parameter of the onion-routing scenario
+// and tabulates delivery, cost, and security metrics (simulation and
+// analysis side by side) — the quickest way to explore a tradeoff
+// without writing a figure definition.
+//
+// Usage:
+//
+//	sweep -param g -values 1,2,5,10
+//	sweep -param K -values 1,3,5,10 -deadline 900
+//	sweep -param L -values 1,2,3,4,5 -spray
+//	sweep -param c -values 0.05,0.1,0.2,0.4
+//	sweep -param T -values 60,300,600,1800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+type point struct {
+	value       float64
+	simDelivery float64
+	modDelivery float64
+	simTx       float64
+	simTrace    float64
+	modTrace    float64
+	simAnon     float64
+	modAnon     float64
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		param       = fs.String("param", "g", "parameter to sweep: g | K | L | c | T")
+		valuesRaw   = fs.String("values", "1,5,10", "comma-separated values for the swept parameter")
+		n           = fs.Int("n", 100, "number of nodes")
+		g           = fs.Int("g", 5, "onion group size (when not swept)")
+		k           = fs.Int("k", 3, "number of onion groups (when not swept)")
+		l           = fs.Int("l", 1, "number of copies (when not swept)")
+		spray       = fs.Bool("spray", true, "source spray-and-wait augmentation")
+		deadline    = fs.Float64("deadline", 600, "message deadline T, minutes (when not swept)")
+		compromised = fs.Float64("compromised", 0.1, "compromised fraction c/n (when not swept)")
+		runs        = fs.Int("runs", 400, "routed messages per point")
+		seed        = fs.Uint64("seed", 1, "root random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	values, err := parseValues(*valuesRaw)
+	if err != nil {
+		return err
+	}
+
+	var points []point
+	for _, v := range values {
+		cfg := core.Config{
+			Nodes: *n, GroupSize: *g, Relays: *k, Copies: *l, Spray: *spray,
+			MinICT: 1, MaxICT: 360, Seed: *seed,
+		}
+		dl, frac := *deadline, *compromised
+		switch *param {
+		case "g":
+			cfg.GroupSize = int(v)
+		case "K":
+			cfg.Relays = int(v)
+		case "L":
+			cfg.Copies = int(v)
+		case "c":
+			frac = v
+		case "T":
+			dl = v
+		default:
+			return fmt.Errorf("unknown parameter %q (want g, K, L, c, or T)", *param)
+		}
+		p, err := evaluate(cfg, dl, frac, *runs, v)
+		if err != nil {
+			return fmt.Errorf("%s=%v: %w", *param, v, err)
+		}
+		points = append(points, p)
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tdelivery sim\tdelivery model\ttransmissions\ttraceable sim\ttraceable model\tanonymity sim\tanonymity model\n", *param)
+	for _, p := range points {
+		fmt.Fprintf(tw, "%v\t%.3f\t%.3f\t%.2f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			p.value, p.simDelivery, p.modDelivery, p.simTx,
+			p.simTrace, p.modTrace, p.simAnon, p.modAnon)
+	}
+	return tw.Flush()
+}
+
+func parseValues(raw string) ([]float64, error) {
+	parts := strings.Split(raw, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values to sweep")
+	}
+	return out, nil
+}
+
+func evaluate(cfg core.Config, deadline, frac float64, runs int, v float64) (point, error) {
+	nw, err := core.NewNetwork(cfg)
+	if err != nil {
+		return point{}, err
+	}
+	p := point{
+		value:    v,
+		modTrace: nw.ModelTraceableRate(frac),
+		modAnon:  nw.ModelPathAnonymity(frac),
+	}
+	var delivered int
+	var model, tx, tr, an stats.Accumulator
+	for i := 0; i < runs; i++ {
+		trial, err := nw.NewTrial(i)
+		if err != nil {
+			return point{}, err
+		}
+		res, err := nw.Route(trial, deadline, true, i)
+		if err != nil {
+			return point{}, err
+		}
+		if res.Delivered {
+			delivered++
+		}
+		m, err := nw.ModelDelivery(trial, deadline)
+		if err != nil {
+			return point{}, err
+		}
+		model.Add(m)
+		tx.Add(float64(res.Transmissions))
+		sec, err := nw.FastSecurityTrial(frac, i)
+		if err != nil {
+			return point{}, err
+		}
+		tr.Add(sec.TraceableRate)
+		an.Add(sec.PathAnonymity)
+	}
+	p.simDelivery = float64(delivered) / float64(runs)
+	p.modDelivery = model.Mean()
+	p.simTx = tx.Mean()
+	p.simTrace = tr.Mean()
+	p.simAnon = an.Mean()
+	return p, nil
+}

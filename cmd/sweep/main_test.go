@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepGroupSize(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-param", "g", "-values", "1,5", "-n", "40", "-runs", "60", "-deadline", "400"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "g") {
+		t.Fatalf("header: %q", lines[0])
+	}
+}
+
+func TestSweepEachParameter(t *testing.T) {
+	for _, p := range []string{"K", "L", "c", "T"} {
+		var buf bytes.Buffer
+		values := "1,2"
+		if p == "c" {
+			values = "0.1,0.3"
+		}
+		if p == "T" {
+			values = "100,500"
+		}
+		err := run([]string{"-param", p, "-values", values, "-n", "30", "-runs", "30"}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-param", "q", "-values", "1"}, &buf); err == nil {
+		t.Fatal("accepted unknown parameter")
+	}
+	if err := run([]string{"-param", "g", "-values", "x"}, &buf); err == nil {
+		t.Fatal("accepted unparsable values")
+	}
+	if err := run([]string{"-param", "g", "-values", ","}, &buf); err == nil {
+		t.Fatal("accepted empty values")
+	}
+	if err := run([]string{"-param", "g", "-values", "0"}, &buf); err == nil {
+		t.Fatal("accepted invalid group size")
+	}
+}

@@ -1,0 +1,96 @@
+// Command tracegen generates the synthetic haggle-like contact traces
+// used by the trace experiments (Sec. V-D/E substitutes; see
+// DESIGN.md) and prints trace statistics.
+//
+// Usage:
+//
+//	tracegen -preset cambridge -o cambridge.trace
+//	tracegen -preset infocom -stats
+//	tracegen -nodes 25 -days 3 -mean-ict 200 -o custom.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		preset   = fs.String("preset", "", "cambridge | infocom (overrides the custom flags)")
+		outPath  = fs.String("o", "", "output file (default: stdout)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		statsFlg = fs.Bool("stats", false, "print trace statistics to stderr")
+
+		nodes    = fs.Int("nodes", 20, "population size")
+		days     = fs.Int("days", 3, "days covered")
+		dayStart = fs.Float64("day-start", 9, "activity window start hour")
+		dayEnd   = fs.Float64("day-end", 17, "activity window end hour")
+		session  = fs.Float64("session-min", 480, "session length, minutes")
+		brk      = fs.Float64("break-min", 0, "break between sessions, minutes")
+		meanICT  = fs.Float64("mean-ict", 300, "per-pair mean inter-contact time during sessions, seconds")
+		dur      = fs.Float64("contact-sec", 60, "mean contact duration, seconds")
+		pairProb = fs.Float64("pair-prob", 1, "probability a pair ever meets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg trace.DiurnalConfig
+	switch *preset {
+	case "cambridge":
+		cfg = trace.CambridgeConfig()
+	case "infocom":
+		cfg = trace.InfocomConfig()
+	case "":
+		cfg = trace.DiurnalConfig{
+			Nodes: *nodes, Days: *days,
+			DayStartHour: *dayStart, DayEndHour: *dayEnd,
+			SessionMinutes: *session, BreakMinutes: *brk,
+			MeanICT: *meanICT, ContactSeconds: *dur, PairProb: *pairProb,
+		}
+	default:
+		return fmt.Errorf("unknown preset %q (want cambridge or infocom)", *preset)
+	}
+
+	tr, err := trace.Generate(cfg, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	if *statsFlg {
+		st := tr.Summarize()
+		fmt.Fprintf(os.Stderr,
+			"nodes=%d contacts=%d duration=%.0fs active-pairs=%d density=%.2f contacts/pair=%.1f\n",
+			st.Nodes, st.Contacts, st.Duration, st.ActivePairs, st.PairDensity, st.ContactsPerPair)
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *outPath, err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	if _, err := tr.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPresetToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cam.trace")
+	if err := run([]string{"-preset", "cambridge", "-o", path, "-seed", "3"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ParseReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount != 12 {
+		t.Fatalf("nodes = %d, want 12", tr.NodeCount)
+	}
+}
+
+func TestCustomConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.trace")
+	err := run([]string{
+		"-nodes", "8", "-days", "1", "-mean-ict", "120", "-o", path,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ParseReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount != 8 {
+		t.Fatalf("nodes = %d", tr.NodeCount)
+	}
+	if tr.Duration() > 24*3600 {
+		t.Fatalf("duration %v exceeds one day", tr.Duration())
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	if err := run([]string{"-preset", "mars"}, os.Stdout); err == nil {
+		t.Fatal("accepted unknown preset")
+	}
+}
+
+func TestInvalidCustomConfig(t *testing.T) {
+	if err := run([]string{"-nodes", "1"}, os.Stdout); err == nil {
+		t.Fatal("accepted single-node trace")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	for _, p := range []string{a, b} {
+		if err := run([]string{"-preset", "infocom", "-seed", "11", "-o", p}, os.Stdout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.EqualFold(string(da), string(db)) {
+		t.Fatal("same seed produced different trace files")
+	}
+}

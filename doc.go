@@ -1,0 +1,18 @@
+// Package repro reproduces "An Analysis of Onion-Based Anonymous
+// Routing for Delay Tolerant Networks" (Sakai, Sun, Ku, Wu, Alanazi;
+// IEEE ICDCS 2016) as a production-quality Go library.
+//
+// The implementation lives under internal/: the paper's analytical
+// models (internal/model), the abstract onion routing protocols
+// (internal/routing), the onion cryptography and group-key substrates
+// (internal/onion, internal/groups), the DTN simulators and trace
+// tooling (internal/sim, internal/contact, internal/trace,
+// internal/des), the adversary (internal/adversary), the message-level
+// node runtime (internal/node), the top-level API (internal/core), and
+// the per-figure experiment harness (internal/experiment).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate every evaluation
+// figure of the paper (Figs. 4-19).
+package repro

@@ -1,0 +1,96 @@
+// Conference: the multi-copy tradeoff on a human-contact trace.
+//
+// The paper's Infocom 2005 evaluation (Sec. V-E) shows the central
+// tension of multi-copy anonymous routing: extra copies L buy delivery
+// rate and delay, but every copy exposes another path to compromised
+// observers, lowering path anonymity (Figs. 17 and 19).
+//
+// This example replays an Infocom-like conference trace (41 devices,
+// bursty contacts during session breaks, silent nights) and sweeps
+// L in {1, 2, 3, 5}: for each it reports the delivery rate at three
+// deadlines, the mean transmissions, and the analytical path anonymity
+// under 20% compromised devices — the table a deployer would use to
+// pick L.
+//
+// Run with: go run ./examples/conference
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+const (
+	groupSize   = 5
+	relays      = 3
+	compromised = 0.20
+	trials      = 80
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "conference:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tr, err := trace.GenerateInfocom(rng.New(2025))
+	if err != nil {
+		return err
+	}
+	st := tr.Summarize()
+	fmt.Printf("conference trace: %d devices, %d contacts over %.1f days (density %.2f)\n\n",
+		st.Nodes, st.Contacts, st.Duration/86400, st.PairDensity)
+
+	tn, err := core.NewTraceNetwork(tr, 7)
+	if err != nil {
+		return err
+	}
+
+	deadlines := []float64{256, 4096, 65536} // seconds, spanning the diurnal plateau
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "L\tdelivery@256s\tdelivery@4096s\tdelivery@18h\ttransmissions\tanonymity (c/n=20%)")
+	for _, l := range []int{1, 2, 3, 5} {
+		ecdf := stats.NewECDF()
+		var tx stats.Accumulator
+		for i := 0; i < trials; i++ {
+			trial, err := tn.NewTrial(l*100000+i, groupSize, relays)
+			if err != nil {
+				return err
+			}
+			res, err := tn.Route(trial, deadlines[len(deadlines)-1], l, true, true)
+			if err != nil {
+				return err
+			}
+			if res.Delivered {
+				ecdf.Observe(res.Time - trial.Start)
+			} else {
+				ecdf.ObserveCensored()
+			}
+			tx.Add(float64(res.Transmissions))
+		}
+		anonymity := model.PathAnonymityMultiCopyExact(st.Nodes, relays+1, groupSize, compromised, l)
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.2f\t%.1f\t%.3f\n",
+			l, ecdf.At(deadlines[0]), ecdf.At(deadlines[1]), ecdf.At(deadlines[2]),
+			tx.Mean(), anonymity)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - delivery stalls between ~256s and ~4096s: the silent session breaks (Fig. 17)")
+	fmt.Println("  - more copies help delivery only marginally on this trace — copies tend to")
+	fmt.Println("    traverse the same few well-connected relays (Sec. V-E)")
+	fmt.Println("  - anonymity strictly decreases with L (Fig. 19): pick the smallest L that")
+	fmt.Println("    meets the delivery requirement")
+	return nil
+}

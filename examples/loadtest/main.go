@@ -1,0 +1,105 @@
+// Loadtest: system-level behaviour under sustained anonymous traffic.
+//
+// The paper evaluates one message at a time; a deployment carries a
+// stream. This example offers 120 messages (Poisson arrivals, ~1 per
+// minute) to a 40-node network with real onion cryptography and
+// compares three configurations a deployer would weigh:
+//
+//  1. multi-copy spray, unlimited buffers, no acknowledgements —
+//     highest delivery, but stale copies accumulate forever;
+//  2. the same with anti-packet delivery ACKs — same delivery,
+//     buffers drain;
+//  3. tight per-node buffers (custody refusal) — the degradation mode
+//     when storage is scarce.
+//
+// Run with: go run ./examples/loadtest
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/contact"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+const (
+	nodes   = 40
+	horizon = 2000 // minutes
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}
+
+type outcome struct {
+	name     string
+	result   *workload.Result
+	residual int
+}
+
+func runConfig(name string, cfg node.Config) (outcome, error) {
+	cfg.Nodes = nodes
+	cfg.GroupSize = 5
+	nw, err := node.NewNetwork(cfg)
+	if err != nil {
+		return outcome{}, err
+	}
+	g := contact.NewRandom(nodes, 1, 30, rng.New(99))
+	res, err := workload.Run(nw, g, workload.Spec{
+		Messages:     120,
+		ArrivalRate:  1,
+		PayloadSize:  256,
+		Relays:       3,
+		Copies:       3,
+		PadTo:        2048,
+		ExpiryAfter:  600,
+		Seed:         7,
+		TrackBuffers: true,
+	}, horizon)
+	if err != nil {
+		return outcome{}, err
+	}
+	residual := 0
+	for i := 0; i < nodes; i++ {
+		residual += nw.Node(contact.NodeID(i)).BufferLen()
+	}
+	return outcome{name: name, result: res, residual: residual}, nil
+}
+
+func run() error {
+	fmt.Printf("offering 120 onion-routed messages (L=3 spray, K=3, 10h deadline) to %d nodes over %d min\n\n", nodes, horizon)
+	configs := []struct {
+		name string
+		cfg  node.Config
+	}{
+		{"spray, unlimited buffers", node.Config{Seed: 1, Spray: true}},
+		{"spray + anti-packets", node.Config{Seed: 1, Spray: true, AntiPackets: true}},
+		{"spray, 2-onion buffers", node.Config{Seed: 1, Spray: true, BufferLimit: 2}},
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "configuration\tdelivery\tmean delay (min)\tpeak buffered\tresidual onions\trefused\tpurged")
+	for _, c := range configs {
+		out, err := runConfig(c.name, c.cfg)
+		if err != nil {
+			return err
+		}
+		r := out.result
+		fmt.Fprintf(tw, "%s\t%.2f\t%.0f\t%d\t%d\t%d\t%d\n",
+			out.name, r.DeliveryRate, r.Delay.Mean, r.PeakBuffered, out.residual,
+			r.Totals.Refused, r.Totals.Purged)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - anti-packets keep delivery while draining stale copies (purged > 0, residual ~ 0)")
+	fmt.Println("  - tight buffers trade delivery for storage: custody refusals appear")
+	return nil
+}

@@ -1,0 +1,81 @@
+// Quickstart: send one anonymously routed message through a DTN.
+//
+// This example provisions a 20-node delay tolerant network with onion
+// groups of size 4, builds a real layered-encryption onion for a
+// message from node 0 to node 19 through K = 3 onion groups, and
+// drives the network with synthetic contacts until the message is
+// delivered. Along the way it prints what each hand-off looks like
+// from the outside: ciphertext only.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/contact"
+	"repro/internal/node"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Provision the network: nodes, onion groups, and group keys.
+	nw, err := node.NewNetwork(node.Config{Nodes: 20, GroupSize: 4, Seed: 42})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("provisioned %d nodes in %d onion groups of size %d\n",
+		20, nw.Directory().NumGroups(), nw.Directory().GroupSize())
+
+	// 2. Node 0 sends an encrypted message to node 19 through 3 onion
+	//    groups. The onion is padded so its size reveals nothing.
+	const secret = "meet where the river bends, 06:00"
+	src, dst := nw.Node(0), nw.Node(19)
+	msgID, err := src.Send(node.SendSpec{
+		Dst:     19,
+		Payload: []byte(secret),
+		Relays:  3,
+		Copies:  1,
+		PadTo:   2048,
+	}, rng.New(7))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node 0 -> node 19: onion built, message id %s...\n", msgID[:8])
+
+	// 3. Drive the DTN: nodes meet opportunistically (exponential
+	//    inter-contact times, 1-30 minute means) and hand the onion
+	//    along the group path.
+	graph := contact.NewRandom(20, 1, 30, rng.New(9))
+	contacts := nw.DriveSynthetic(graph, 1e6, rng.New(11), func() bool {
+		return dst.DeliveredCount() > 0
+	})
+	fmt.Printf("simulated %d contacts\n", contacts)
+
+	// 4. The destination — and only the destination — recovers the
+	//    payload.
+	payload, ok := dst.Delivered(msgID)
+	if !ok {
+		return fmt.Errorf("message was not delivered")
+	}
+	fmt.Printf("node 19 decrypted: %q\n", payload)
+
+	// 5. Inspect the relays: they carried and peeled layers but never
+	//    saw the payload or the endpoints.
+	total := nw.TotalStats()
+	fmt.Printf("hand-offs: %d (K+1 = 4 expected for a single copy)\n", total.Forwarded)
+	for i := contact.NodeID(1); i < 19; i++ {
+		if s := nw.Node(i).Stats(); s.Carried > 0 {
+			fmt.Printf("  relay node %2d carried the onion one hop (payload never visible to it)\n", i)
+		}
+	}
+	return nil
+}

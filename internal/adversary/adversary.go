@@ -1,0 +1,201 @@
+// Package adversary implements the paper's threat model (Sec. IV-D/E):
+// a fraction c/n of nodes is compromised; a compromised node holding a
+// message discloses the link to its next hop (traceable rate, Eq. 1)
+// and confines the next onion router to its group of g candidates
+// (path anonymity, Eq. 16).
+//
+// Security metrics can be measured two ways, which the tests verify
+// agree: the honest mode evaluates realized routing.CopyTrace paths
+// from actual simulations; the fast mode samples sender sequences
+// directly, which is valid because both metrics are independent of the
+// contact-graph realization (Sec. V-A).
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/contact"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/routing"
+)
+
+// Adversary is a set of compromised nodes within an n-node network.
+type Adversary struct {
+	n           int
+	compromised map[contact.NodeID]bool
+}
+
+// New builds an adversary controlling exactly the given nodes.
+func New(n int, nodes []contact.NodeID) (*Adversary, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("adversary: need at least one node, got %d", n)
+	}
+	a := &Adversary{n: n, compromised: make(map[contact.NodeID]bool, len(nodes))}
+	for _, v := range nodes {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("adversary: node %d out of range [0, %d)", v, n)
+		}
+		a.compromised[v] = true
+	}
+	return a, nil
+}
+
+// Random builds an adversary controlling c distinct nodes chosen
+// uniformly at random.
+func Random(n, c int, s *rng.Stream) (*Adversary, error) {
+	if c < 0 || c > n {
+		return nil, fmt.Errorf("adversary: cannot compromise %d of %d nodes", c, n)
+	}
+	nodes := make([]contact.NodeID, 0, c)
+	for _, v := range s.Sample(n, c) {
+		nodes = append(nodes, contact.NodeID(v))
+	}
+	return New(n, nodes)
+}
+
+// RandomFraction compromises round(frac*n) nodes (the paper sweeps
+// c/n from 1% to 50%).
+func RandomFraction(n int, frac float64, s *rng.Stream) (*Adversary, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("adversary: fraction %v out of [0,1]", frac)
+	}
+	c := int(frac*float64(n) + 0.5)
+	return Random(n, c, s)
+}
+
+// N returns the network size.
+func (a *Adversary) N() int { return a.n }
+
+// Count returns the number of compromised nodes c.
+func (a *Adversary) Count() int { return len(a.compromised) }
+
+// Fraction returns c/n.
+func (a *Adversary) Fraction() float64 { return float64(len(a.compromised)) / float64(a.n) }
+
+// IsCompromised reports whether node v is controlled by the adversary.
+func (a *Adversary) IsCompromised(v contact.NodeID) bool { return a.compromised[v] }
+
+// SenderBits maps a sender sequence to the bit string of Sec. IV-D:
+// bit i is true when sender i is compromised, disclosing the link it
+// forwards over.
+func (a *Adversary) SenderBits(senders []contact.NodeID) []bool {
+	bits := make([]bool, len(senders))
+	for i, v := range senders {
+		bits[i] = a.IsCompromised(v)
+	}
+	return bits
+}
+
+// TraceableRate evaluates Eq. 1 on a realized copy path.
+func (a *Adversary) TraceableRate(ct routing.CopyTrace) float64 {
+	return model.TraceableRateOfPath(a.SenderBits(ct.Senders()))
+}
+
+// CompromisedPositions counts the onion path positions 0..K (0 = the
+// source and any sprayed relays, k = the R_k relay of each copy) at
+// which at least one occupant across all copies is compromised. This
+// is the multi-copy random variable Y' of Sec. IV-F; with a single
+// copy it reduces to Y of Eq. 15.
+func (a *Adversary) CompromisedPositions(copies []routing.CopyTrace, k int) int {
+	hit := make([]bool, k+1)
+	for _, c := range copies {
+		for _, v := range c.Visits {
+			if v.Stage >= 0 && v.Stage <= k && a.IsCompromised(v.Node) {
+				hit[v.Stage] = true
+			}
+		}
+	}
+	count := 0
+	for _, h := range hit {
+		if h {
+			count++
+		}
+	}
+	return count
+}
+
+// ObservedPathAnonymity measures the realized anonymity degree of a
+// routed message: the number of compromised hop positions is plugged
+// into Eq. 19 exactly as the analysis plugs in its expectation.
+func (a *Adversary) ObservedPathAnonymity(g, k int, copies []routing.CopyTrace) float64 {
+	cO := a.CompromisedPositions(copies, k)
+	return model.PathAnonymity(a.n, k+1, g, float64(cO))
+}
+
+// SampleSenders draws a uniform sender sequence for fast-mode security
+// experiments: a source plus one relay per onion group, all distinct
+// (acyclic path assumption). The returned slice has length k+1 = eta.
+func SampleSenders(n, k int, s *rng.Stream) ([]contact.NodeID, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("adversary: need at least one relay, got %d", k)
+	}
+	if n < k+2 {
+		return nil, fmt.Errorf("adversary: %d nodes cannot host a %d-relay acyclic path", n, k)
+	}
+	// k+1 senders (source + K relays); the destination is not a sender.
+	picks := s.Sample(n, k+1)
+	out := make([]contact.NodeID, k+1)
+	for i, p := range picks {
+		out[i] = contact.NodeID(p)
+	}
+	return out, nil
+}
+
+// SamplePositions draws the position occupancy of an L-copy message
+// for fast-mode anonymity experiments. Each relay position k holds
+// min(L, g) distinct members of that hop's onion group (copies never
+// share a holder: Forward() is false for duplicates). With spray set
+// (the paper's simulated variant, and the regime Eq. 20 models — all
+// eta positions have L-way exposure), position 0 holds the source plus
+// the L-1 sprayed relays; otherwise it holds the source alone
+// (Algorithm 2 strict mode).
+func SamplePositions(n, k, copies, g int, spray bool, s *rng.Stream) ([][]contact.NodeID, error) {
+	if k < 1 || copies < 1 || g < 1 {
+		return nil, fmt.Errorf("adversary: invalid parameters k=%d L=%d g=%d", k, copies, g)
+	}
+	perGroup := copies
+	if perGroup > g {
+		perGroup = g
+	}
+	if n < 2+perGroup {
+		return nil, fmt.Errorf("adversary: %d nodes too few for %d relays per hop", n, perGroup)
+	}
+	out := make([][]contact.NodeID, k+1)
+	firstHop := 1
+	if spray {
+		firstHop = copies
+		if firstHop > n-1 {
+			firstHop = n - 1
+		}
+	}
+	out[0] = samplePosition(n, firstHop, s)
+	for pos := 1; pos <= k; pos++ {
+		out[pos] = samplePosition(n, perGroup, s)
+	}
+	return out, nil
+}
+
+func samplePosition(n, occupancy int, s *rng.Stream) []contact.NodeID {
+	picks := s.Sample(n, occupancy)
+	nodes := make([]contact.NodeID, occupancy)
+	for i, p := range picks {
+		nodes[i] = contact.NodeID(p)
+	}
+	return nodes
+}
+
+// PositionsCompromised counts positions with at least one compromised
+// occupant in a fast-mode sample.
+func (a *Adversary) PositionsCompromised(positions [][]contact.NodeID) int {
+	count := 0
+	for _, occupants := range positions {
+		for _, v := range occupants {
+			if a.IsCompromised(v) {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}

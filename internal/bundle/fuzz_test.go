@@ -1,0 +1,40 @@
+package bundle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hammers the wire decoder with arbitrary bytes: it must
+// never panic, and any frame it accepts must survive a re-marshal
+// round trip.
+func FuzzUnmarshal(f *testing.F) {
+	good, err := sample().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("ODTN"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	truncated := append([]byte(nil), good[:len(good)-3]...)
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		frame, err := b.Marshal()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+		b2, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("re-marshaled frame rejected: %v", err)
+		}
+		if b2.ID != b.ID || b2.LastHop != b.LastHop || !bytes.Equal(b2.Data, b.Data) {
+			t.Fatal("round trip after fuzz accept diverged")
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package contact models a delay tolerant network as a contact graph
+// (Sec. III-A of the paper): n nodes, and for each pair (v_i, v_j) an
+// exponential inter-contact process with rate lambda_{i,j}. The package
+// also computes the group-aggregated per-hop rates lambda_k of Eq. 4
+// that drive the opportunistic onion path model.
+package contact
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// NodeID identifies a node in the contact graph, in [0, N).
+type NodeID int
+
+// Graph is a symmetric contact-rate matrix over n nodes. The rate of
+// the (i, j) pair is the inverse of the mean inter-contact time; a rate
+// of zero means the pair never meets.
+type Graph struct {
+	n     int
+	rates []float64 // row-major n x n, symmetric, zero diagonal
+}
+
+// NewGraph returns a graph with n nodes and no contacts. It panics if
+// n <= 0.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("contact: graph needs at least one node")
+	}
+	return &Graph{n: n, rates: make([]float64, n*n)}
+}
+
+// NewRandom generates the paper's random contact graph: every pair of
+// distinct nodes meets, with mean inter-contact time drawn uniformly
+// from [minICT, maxICT) (Table II uses 1 to 360 minutes). It panics on
+// invalid bounds.
+func NewRandom(n int, minICT, maxICT float64, s *rng.Stream) *Graph {
+	if minICT <= 0 || maxICT <= minICT {
+		panic(fmt.Sprintf("contact: invalid ICT bounds [%v, %v)", minICT, maxICT))
+	}
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ict := s.Uniform(minICT, maxICT)
+			g.SetRate(NodeID(i), NodeID(j), 1/ict)
+		}
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Rate returns lambda_{i,j}. The diagonal is always zero.
+func (g *Graph) Rate(i, j NodeID) float64 {
+	g.check(i)
+	g.check(j)
+	return g.rates[int(i)*g.n+int(j)]
+}
+
+// SetRate sets lambda_{i,j} = lambda_{j,i} = r. It panics on negative
+// rates, out-of-range nodes, or i == j with r != 0.
+func (g *Graph) SetRate(i, j NodeID, r float64) {
+	g.check(i)
+	g.check(j)
+	if r < 0 {
+		panic("contact: negative rate")
+	}
+	if i == j {
+		if r != 0 {
+			panic("contact: self-contact rate must be zero")
+		}
+		return
+	}
+	g.rates[int(i)*g.n+int(j)] = r
+	g.rates[int(j)*g.n+int(i)] = r
+}
+
+// MeanICT returns the mean inter-contact time 1/lambda_{i,j}, or +Inf
+// semantics via ok=false when the pair never meets.
+func (g *Graph) MeanICT(i, j NodeID) (float64, bool) {
+	r := g.Rate(i, j)
+	if r == 0 {
+		return 0, false
+	}
+	return 1 / r, true
+}
+
+// Pairs invokes fn for every unordered pair with a positive rate.
+func (g *Graph) Pairs(fn func(i, j NodeID, rate float64)) {
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if r := g.rates[i*g.n+j]; r > 0 {
+				fn(NodeID(i), NodeID(j), r)
+			}
+		}
+	}
+}
+
+// Degree returns the number of peers node i ever meets.
+func (g *Graph) Degree(i NodeID) int {
+	g.check(i)
+	d := 0
+	for j := 0; j < g.n; j++ {
+		if g.rates[int(i)*g.n+j] > 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// TotalRate returns the sum of rates from node i to every node in set,
+// skipping i itself: the aggregate contact rate toward a candidate
+// onion group (the building block of Eq. 4).
+func (g *Graph) TotalRate(i NodeID, set []NodeID) float64 {
+	g.check(i)
+	sum := 0.0
+	for _, j := range set {
+		if j == i {
+			continue
+		}
+		sum += g.Rate(i, j)
+	}
+	return sum
+}
+
+func (g *Graph) check(i NodeID) {
+	if i < 0 || int(i) >= g.n {
+		panic(fmt.Sprintf("contact: node %d out of range [0, %d)", i, g.n))
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph(g.n)
+	copy(out.rates, g.rates)
+	return out
+}
+
+// Validate checks structural invariants (symmetry, zero diagonal,
+// non-negative rates) and returns the first violation found.
+func (g *Graph) Validate() error {
+	for i := 0; i < g.n; i++ {
+		if g.rates[i*g.n+i] != 0 {
+			return fmt.Errorf("contact: non-zero self rate at node %d", i)
+		}
+		for j := i + 1; j < g.n; j++ {
+			a, b := g.rates[i*g.n+j], g.rates[j*g.n+i]
+			if a != b {
+				return fmt.Errorf("contact: asymmetric rate (%d,%d): %v vs %v", i, j, a, b)
+			}
+			if a < 0 {
+				return fmt.Errorf("contact: negative rate (%d,%d): %v", i, j, a)
+			}
+		}
+	}
+	return nil
+}
+
+// GroupPathRates computes the per-hop aggregate rates lambda_k of
+// Eq. 4 for the opportunistic onion path
+//
+//	src -> R_1 -> R_2 -> ... -> R_K -> dst:
+//
+//	lambda_1     = sum_j lambda_{src, r_{1,j}}
+//	lambda_k     = (1/|R_{k-1}|) sum_i sum_j lambda_{r_{k-1,i}, r_{k,j}}   (2 <= k <= K)
+//	lambda_{K+1} = sum_j lambda_{r_{K,j}, dst}
+//
+// The returned slice has length K+1 (the hop count eta). An error is
+// returned if any hop has zero aggregate rate, i.e. the onion path can
+// never complete.
+func GroupPathRates(g *Graph, src, dst NodeID, groups [][]NodeID) ([]float64, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("contact: onion path requires at least one group")
+	}
+	eta := len(groups) + 1
+	rates := make([]float64, 0, eta)
+
+	first := g.TotalRate(src, groups[0])
+	rates = append(rates, first)
+
+	for k := 1; k < len(groups); k++ {
+		prev, next := groups[k-1], groups[k]
+		if len(prev) == 0 {
+			return nil, fmt.Errorf("contact: empty onion group at hop %d", k)
+		}
+		sum := 0.0
+		for _, i := range prev {
+			sum += g.TotalRate(i, next)
+		}
+		rates = append(rates, sum/float64(len(prev)))
+	}
+
+	last := 0.0
+	for _, j := range groups[len(groups)-1] {
+		if j == dst {
+			continue
+		}
+		last += g.Rate(j, dst)
+	}
+	rates = append(rates, last)
+
+	for k, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("contact: hop %d of the onion path has zero aggregate rate", k+1)
+		}
+	}
+	return rates, nil
+}
+
+// MeanRate returns the average positive pair rate of the graph, a
+// density summary used when calibrating synthetic traces.
+func (g *Graph) MeanRate() float64 {
+	sum, cnt := 0.0, 0
+	g.Pairs(func(_, _ NodeID, r float64) {
+		sum += r
+		cnt++
+	})
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

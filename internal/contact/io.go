@@ -1,0 +1,101 @@
+package contact
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Graph exchange format: reproducible experiment setups can be saved
+// and shared as plain text. One header line "nodes <n>", then one line
+// per positive-rate pair: "<i> <j> <rate>". '#' comments and blank
+// lines are ignored.
+
+// WriteTo serializes the graph.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "# contact graph: %d nodes\nnodes %d\n", g.n, g.n)
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("contact: write header: %w", err)
+	}
+	var werr error
+	g.Pairs(func(i, j NodeID, rate float64) {
+		if werr != nil {
+			return
+		}
+		n, err := fmt.Fprintf(bw, "%d %d %s\n", i, j, strconv.FormatFloat(rate, 'g', -1, 64))
+		total += int64(n)
+		werr = err
+	})
+	if werr != nil {
+		return total, fmt.Errorf("contact: write pair: %w", werr)
+	}
+	if err := bw.Flush(); err != nil {
+		return total, fmt.Errorf("contact: flush: %w", err)
+	}
+	return total, nil
+}
+
+// ReadGraph parses a graph in the exchange format.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil {
+			if len(fields) != 2 || fields[0] != "nodes" {
+				return nil, fmt.Errorf("contact: line %d: want \"nodes <n>\" header, got %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("contact: line %d: bad node count %q", lineNo, fields[1])
+			}
+			g = NewGraph(n)
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("contact: line %d: want \"i j rate\", got %d fields", lineNo, len(fields))
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("contact: line %d: bad node %q: %w", lineNo, fields[0], err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("contact: line %d: bad node %q: %w", lineNo, fields[1], err)
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("contact: line %d: bad rate %q: %w", lineNo, fields[2], err)
+		}
+		if i < 0 || i >= g.N() || j < 0 || j >= g.N() {
+			return nil, fmt.Errorf("contact: line %d: pair (%d,%d) out of range [0,%d)", lineNo, i, j, g.N())
+		}
+		if i == j {
+			return nil, fmt.Errorf("contact: line %d: self pair", lineNo)
+		}
+		if rate <= 0 {
+			return nil, fmt.Errorf("contact: line %d: non-positive rate %v", lineNo, rate)
+		}
+		g.SetRate(NodeID(i), NodeID(j), rate)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("contact: read: %w", err)
+	}
+	if g == nil {
+		return nil, errors.New("contact: empty input")
+	}
+	return g, nil
+}

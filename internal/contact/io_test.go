@@ -1,0 +1,79 @@
+package contact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := NewRandom(25, 1, 360, rng.New(1))
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 25 {
+		t.Fatalf("N = %d", got.N())
+	}
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			if got.Rate(NodeID(i), NodeID(j)) != g.Rate(NodeID(i), NodeID(j)) {
+				t.Fatalf("rate (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestGraphRoundTripSparse(t *testing.T) {
+	g := NewGraph(5)
+	g.SetRate(0, 3, 0.125)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rate(0, 3) != 0.125 || got.Rate(0, 1) != 0 {
+		t.Fatal("sparse round trip wrong")
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "# only comments\n",
+		"no header":     "0 1 0.5\n",
+		"bad count":     "nodes x\n",
+		"zero count":    "nodes 0\n",
+		"bad fields":    "nodes 3\n0 1\n",
+		"bad node":      "nodes 3\nx 1 0.5\n",
+		"bad rate":      "nodes 3\n0 1 x\n",
+		"out of range":  "nodes 3\n0 7 0.5\n",
+		"self pair":     "nodes 3\n1 1 0.5\n",
+		"negative rate": "nodes 3\n0 1 -2\n",
+		"zero rate":     "nodes 3\n0 1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadGraphIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "# hello\n\nnodes 2\n# pair\n0 1 0.25\n\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rate(0, 1) != 0.25 {
+		t.Fatal("rate lost")
+	}
+}

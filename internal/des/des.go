@@ -1,0 +1,121 @@
+// Package des implements a minimal discrete-event scheduler: a
+// time-ordered queue of callbacks with deterministic FIFO tie-breaking
+// for simultaneous events. It underlies both the synthetic contact
+// simulator and trace replay.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Scheduler orders and dispatches events. The zero value is ready to
+// use. Scheduler is not safe for concurrent use; simulations are
+// single-threaded by design and parallelism happens across runs.
+type Scheduler struct {
+	now     float64
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for equal times
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return s.queue.Len() }
+
+// At schedules fn to run at time t. Scheduling in the past (t < Now)
+// panics: it would silently reorder causality.
+func (s *Scheduler) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: event scheduled at %v before current time %v", t, s.now))
+	}
+	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn to run delay time units from now. Negative delays
+// panic.
+func (s *Scheduler) After(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	s.At(s.now+delay, fn)
+}
+
+// Step dispatches the earliest pending event and reports whether one
+// was dispatched.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// RunUntil dispatches events in order until the queue drains, the
+// horizon is passed, or Stop is called. Events scheduled exactly at the
+// horizon are dispatched; later ones are left pending. It returns the
+// number of events dispatched.
+func (s *Scheduler) RunUntil(horizon float64) int {
+	s.stopped = false
+	dispatched := 0
+	for s.queue.Len() > 0 && !s.stopped {
+		if s.queue[0].time > horizon {
+			break
+		}
+		s.Step()
+		dispatched++
+	}
+	if s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+	return dispatched
+}
+
+// Run dispatches all pending events (including ones scheduled during
+// dispatch) until the queue drains or Stop is called, and returns the
+// number dispatched.
+func (s *Scheduler) Run() int {
+	s.stopped = false
+	dispatched := 0
+	for s.queue.Len() > 0 && !s.stopped {
+		s.Step()
+		dispatched++
+	}
+	return dispatched
+}
+
+// Stop makes the current RunUntil/Run return after the in-flight event
+// completes. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Reset discards all pending events and rewinds the clock to zero.
+func (s *Scheduler) Reset() {
+	s.now = 0
+	s.queue = s.queue[:0]
+	s.seq = 0
+	s.stopped = false
+}

@@ -1,0 +1,311 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/contact"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AblationRegistry returns the ablation generators — experiments beyond
+// the paper's figures that probe the reproduction's own design
+// decisions (DESIGN.md Sec. 5) — keyed by ID, plus the ordered ID list.
+func AblationRegistry() (map[string]Generator, []string) {
+	reg := map[string]Generator{
+		"ablation-baselines":   AblationBaselines,
+		"ablation-buffers":     AblationBuffers,
+		"ablation-predecessor": AblationPredecessor,
+		"ablation-spray":       AblationSpray,
+		"ablation-traceable":   AblationTraceableModel,
+		"ablation-tps":         AblationTPS,
+		"ablation-model-gap":   AblationModelGap,
+	}
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return reg, ids
+}
+
+// AblationSpray compares Algorithm 2 verbatim (strict: copies may only
+// enter the network through R_1 members) against the paper's simulated
+// variant (source spray-and-wait): delivery rate vs. deadline at
+// L = 3. The spray augmentation should dominate early deadlines — it
+// converts waiting-for-R_1 time into parallel carrying.
+func AblationSpray(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	deadlines := deliveryDeadlines()
+	fig := &Figure{
+		ID: "ablation-spray", Title: "Multi-copy variants: Algorithm 2 strict vs. source spray-and-wait (L=3)",
+		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
+	}
+	for _, spray := range []bool{false, true} {
+		name := "Strict (Alg. 2)"
+		if spray {
+			name = "Spray (Sec. V variant)"
+		}
+		cfg := core.DefaultConfig()
+		cfg.Copies = 3
+		cfg.Spray = spray
+		cfg.Seed = opt.Seed
+		nw, err := core.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ecdf := stats.NewECDF()
+		var tx stats.Accumulator
+		for i := 0; i < opt.Runs; i++ {
+			trial, err := nw.NewTrial(i)
+			if err != nil {
+				continue
+			}
+			res, err := nw.Route(trial, deadlines[len(deadlines)-1], true, i)
+			if err != nil {
+				return nil, err
+			}
+			if res.Delivered {
+				ecdf.Observe(res.Time)
+			} else {
+				ecdf.ObserveCensored()
+			}
+			tx.Add(float64(res.Transmissions))
+		}
+		s := stats.Series{Name: name}
+		n := float64(ecdf.N())
+		for _, t := range deadlines {
+			p := ecdf.At(t)
+			ci := 0.0
+			if n > 0 {
+				ci = 1.96 * math.Sqrt(p*(1-p)/n)
+			}
+			s.Append(t, p, ci)
+		}
+		fig.Series = append(fig.Series, s)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %.1f mean transmissions", name, tx.Mean()))
+	}
+	return fig, nil
+}
+
+// AblationTraceableModel compares the two reconstructions of the
+// traceable-rate analysis (DESIGN.md Sec. 5.4): the exact run-length
+// expectation used as the headline model versus the paper's literal
+// small-c geometric approximation (Eqs. 8-12), against a Monte-Carlo
+// reference.
+func AblationTraceableModel(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	const eta = 4 // K = 3
+	fracs := compromisedFractions()
+	exact := stats.Series{Name: "Exact expectation"}
+	approx := stats.Series{Name: "Paper approximation (Eqs. 8-12)"}
+	mc := stats.Series{Name: "Monte Carlo"}
+	root := rng.New(opt.Seed)
+	for fi, frac := range fracs {
+		exact.Append(frac, model.TraceableRate(eta, frac), 0)
+		approx.Append(frac, model.TraceableRatePaperApprox(eta, frac), 0)
+		var acc stats.Accumulator
+		s := root.SplitN("mc", fi)
+		bits := make([]bool, eta)
+		for i := 0; i < opt.SecurityRuns; i++ {
+			for b := range bits {
+				bits[b] = s.Bernoulli(frac)
+			}
+			acc.Add(model.TraceableRateOfPath(bits))
+		}
+		mc.Append(frac, acc.Mean(), acc.CI95())
+	}
+	return &Figure{
+		ID: "ablation-traceable", Title: "Traceable-rate model reconstructions (K=3)",
+		XLabel: "Compromised rate (c/n)", YLabel: "Traceable rate",
+		Series: []stats.Series{exact, approx, mc},
+		Notes:  []string{"the exact expectation is the headline model; the paper's truncation undershoots as c/n grows"},
+	}, nil
+}
+
+// AblationTPS compares onion routing (K = 3 and K = 10, L = 1)
+// against the Threshold Pivot Scheme (s = 3 share groups, tau = 2)
+// from Sec. VI-C on delivery rate vs. deadline. The related work
+// credits TPS with "alleviating the longer delay due to the use of
+// onions"; the reproduction shows the fine print: the pivot is a
+// single node, so the relay-to-pivot and pivot-to-destination hops are
+// single-pair contact bottlenecks. TPS therefore only wins against
+// long onion paths — short group-aggregated onion paths beat it.
+func AblationTPS(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	const n = 100
+	root := rng.New(opt.Seed)
+	g := contact.NewRandom(n, 1, 360, root.Split("graph"))
+	deadlines := deliveryDeadlines()
+	maxT := deadlines[len(deadlines)-1]
+
+	onion3ECDF, onion10ECDF, tpsECDF := stats.NewECDF(), stats.NewECDF(), stats.NewECDF()
+	var onionTx, tpsTx stats.Accumulator
+	for i := 0; i < opt.Runs; i++ {
+		s := root.SplitN("run", i)
+		src := contact.NodeID(s.IntN(n))
+		dst := contact.NodeID(s.PickOther(n, int(src)))
+		var pivot contact.NodeID
+		for {
+			pivot = contact.NodeID(s.IntN(n))
+			if pivot != src && pivot != dst {
+				break
+			}
+		}
+		makeSets := func(k int, used map[contact.NodeID]bool) [][]contact.NodeID {
+			sets := make([][]contact.NodeID, k)
+			for gi := range sets {
+				for len(sets[gi]) < 5 {
+					v := contact.NodeID(s.IntN(n))
+					if !used[v] {
+						used[v] = true
+						sets[gi] = append(sets[gi], v)
+					}
+				}
+			}
+			return sets
+		}
+		sets3 := makeSets(3, map[contact.NodeID]bool{src: true, dst: true, pivot: true})
+		sets10 := makeSets(10, map[contact.NodeID]bool{src: true, dst: true})
+
+		or3, err := routing.SampleOnion(g, routing.Params{Src: src, Dst: dst, Sets: sets3, Copies: 1}, maxT, s.Split("onion3"))
+		if err != nil {
+			return nil, err
+		}
+		observe(onion3ECDF, or3.Delivered, or3.Time)
+		onionTx.Add(float64(or3.Transmissions))
+
+		or10, err := routing.SampleOnion(g, routing.Params{Src: src, Dst: dst, Sets: sets10, Copies: 1}, maxT, s.Split("onion10"))
+		if err != nil {
+			return nil, err
+		}
+		observe(onion10ECDF, or10.Delivered, or10.Time)
+
+		tp, err := routing.NewTPS(routing.TPSParams{
+			Src: src, Dst: dst, Pivot: pivot, Sets: sets3, Threshold: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim.RunSynthetic(g, maxT, s.Split("tps"), tp)
+		tr := tp.Result()
+		observe(tpsECDF, tr.Delivered, tr.Time)
+		tpsTx.Add(float64(tr.Transmissions))
+	}
+
+	onion3 := stats.Series{Name: "Onion groups (K=3)"}
+	onion10 := stats.Series{Name: "Onion groups (K=10)"}
+	tps := stats.Series{Name: "TPS (s=3, tau=2)"}
+	for _, t := range deadlines {
+		onion3.Append(t, onion3ECDF.At(t), 0)
+		onion10.Append(t, onion10ECDF.At(t), 0)
+		tps.Append(t, tpsECDF.At(t), 0)
+	}
+	return &Figure{
+		ID: "ablation-tps", Title: "Onion groups vs. Threshold Pivot Scheme",
+		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
+		Series: []stats.Series{onion3, onion10, tps},
+		Notes: []string{
+			fmt.Sprintf("mean transmissions: onion K=3 %.1f, TPS %.1f (bound 2s+1 = 7)", onionTx.Mean(), tpsTx.Mean()),
+			"TPS's pivot is a single-pair contact bottleneck: it loses to short group-aggregated onion paths and lands in the league of long ones",
+			"TPS reveals the destination to the pivot (Sec. VI-C); onion groups never do",
+		},
+	}, nil
+}
+
+func observe(e *stats.ECDF, delivered bool, t float64) {
+	if delivered {
+		e.Observe(t)
+	} else {
+		e.ObserveCensored()
+	}
+}
+
+// AblationModelGap decomposes the analysis-vs-simulation delivery gap
+// the paper observes in Figs. 5 and 10. Eq. 4's optimism has two
+// sources: (a) the LAST hop sums contact rates over all g members of
+// R_K although only one member holds the message — present even with
+// homogeneous rates — and (b) averaging middle-hop rates over group
+// members, which under heavy-tailed rates confuses 1/E[rate] with
+// E[1/rate]. Sweeping the ICT spread while also plotting a corrected
+// model (last hop averaged instead of summed) separates the two.
+func AblationModelGap(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	spreads := []float64{2, 30, 90, 180, 360, 720}
+	paperS := stats.Series{Name: "Analysis (Eq. 4 as printed)"}
+	corrS := stats.Series{Name: "Analysis (last hop averaged)"}
+	simS := stats.Series{Name: "Simulation"}
+	for _, maxICT := range spreads {
+		cfg := core.DefaultConfig()
+		cfg.MaxICT = maxICT
+		cfg.Seed = opt.Seed
+		nw, err := core.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Deadline scaled to twice the corrected model's mean traversal
+		// so every spread is compared at the same relative operating
+		// point.
+		var paperAcc, corrAcc stats.Accumulator
+		delivered, total := 0, 0
+		for i := 0; i < opt.Runs; i++ {
+			trial, err := nw.NewTrial(i)
+			if err != nil {
+				continue
+			}
+			corrected := append([]float64(nil), trial.Rates...)
+			lastGroup := trial.Sets[len(trial.Sets)-1]
+			corrected[len(corrected)-1] /= float64(len(lastGroup))
+			meanTraversal := 0.0
+			for _, r := range corrected {
+				meanTraversal += 1 / r
+			}
+			deadline := 2 * meanTraversal
+
+			m, err := nw.ModelDelivery(trial, deadline)
+			if err != nil {
+				return nil, err
+			}
+			paperAcc.Add(m)
+			mc, err := model.DeliveryRate(corrected, deadline)
+			if err != nil {
+				return nil, err
+			}
+			corrAcc.Add(mc)
+			res, err := nw.Route(trial, deadline, false, i)
+			if err != nil {
+				return nil, err
+			}
+			if res.Delivered {
+				delivered++
+			}
+			total++
+		}
+		paperS.Append(maxICT, paperAcc.Mean(), paperAcc.CI95())
+		corrS.Append(maxICT, corrAcc.Mean(), corrAcc.CI95())
+		simS.Append(maxICT, float64(delivered)/float64(total), 0)
+	}
+	return &Figure{
+		ID: "ablation-model-gap", Title: "Decomposing the opportunistic onion path model's optimism",
+		XLabel: "Max mean ICT (minutes; min fixed at 1)", YLabel: "Delivery rate at T = 2 x mean traversal",
+		Series: []stats.Series{paperS, corrS, simS},
+		Notes: []string{
+			"Eq. 4 as printed sums last-hop rates over all g members of R_K; only one member holds the message",
+			"averaging the last hop closes most of the gap at homogeneous rates; the residual right-side gap is rate heterogeneity (E[1/rate] > 1/E[rate])",
+		},
+	}, nil
+}

@@ -1,0 +1,489 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Claim is one qualitative result the paper states about a figure,
+// expressed as a programmatic check on the reproduced series. Claims
+// are what "reproduced" means here: the shapes — who wins, what rises
+// or falls, where analysis tracks simulation — rather than absolute
+// values, since the substrate is a reimplemented simulator.
+type Claim struct {
+	// Paper quotes or paraphrases the claim from Sec. V.
+	Paper string
+	// Check evaluates the claim on a generated figure and returns an
+	// explanation of what was measured.
+	Check func(*Figure) (bool, string)
+}
+
+// ClaimsFor returns the paper's claims for a figure (or ablation) ID.
+// Unknown IDs return nil.
+func ClaimsFor(id string) []Claim {
+	switch id {
+	case "fig04":
+		return []Claim{
+			{
+				Paper: "the delivery rate increases as the onion group size increases (Sec. V-B)",
+				Check: seriesOrdered("Simulation: g=1", "Simulation: g=5", "Simulation: g=10"),
+			},
+			{
+				Paper: "our delivery rate analysis provides a reasonable approximation (same trend)",
+				Check: sameTrend("Analysis: g=5", "Simulation: g=5"),
+			},
+		}
+	case "fig05":
+		return []Claim{
+			{
+				Paper: "a smaller number of onion routers results in a higher delivery rate (Sec. V-B)",
+				Check: seriesOrdered("Simulation: 10 onions", "Simulation: 5 onions", "Simulation: 3 onions"),
+			},
+			{
+				Paper: "although there exists a gap between numerical and simulation results, the same trend can be clearly observed",
+				Check: sameTrend("Analysis: 3 onions", "Simulation: 3 onions"),
+			},
+		}
+	case "fig06":
+		return []Claim{
+			{
+				Paper: "the traceable rate increases in proportion to the percentage of compromised nodes",
+				Check: increasing("Simulation: 3 onions"),
+			},
+			{
+				Paper: "numerical and simulation results are close to each other",
+				Check: closeSeries("Analysis: 3 onions", "Simulation: 3 onions", 0.05),
+			},
+		}
+	case "fig07":
+		return []Claim{
+			{
+				Paper: "adversaries can trace smaller portions of a path as the number of onion routers increases",
+				Check: decreasing("Simulation: c/n=20%"),
+			},
+			{
+				Paper: "numerical and simulation results are close to each other",
+				Check: closeSeries("Analysis: c/n=20%", "Simulation: c/n=20%", 0.05),
+			},
+		}
+	case "fig08":
+		return []Claim{
+			{
+				Paper: "the larger group size results in higher anonymity",
+				Check: seriesOrdered("Simulation: g=1", "Simulation: g=5", "Simulation: g=10"),
+			},
+			{
+				Paper: "our anonymity analysis approximates the simulation results with very high accuracy",
+				Check: closeSeries("Analysis: g=5", "Simulation: g=5", 0.05),
+			},
+		}
+	case "fig09":
+		return []Claim{
+			{
+				Paper: "the path anonymity gradually increases as the group size increases",
+				Check: increasing("Simulation: c/n=10%"),
+			},
+			{
+				Paper: "higher compromised rates lower anonymity at every group size",
+				Check: seriesOrdered("Simulation: c/n=30%", "Simulation: c/n=20%", "Simulation: c/n=10%"),
+			},
+		}
+	case "fig10":
+		return []Claim{
+			{
+				Paper: "the delivery rate increases as the value of L increases",
+				Check: seriesOrdered("Simulation: L=1", "Simulation: L=3", "Simulation: L=5"),
+			},
+			{
+				Paper: "our analysis still displays the same trend as the simulation results",
+				Check: sameTrend("Analysis: L=3", "Simulation: L=3"),
+			},
+		}
+	case "fig11":
+		return []Claim{
+			{
+				Paper: "as the value of L increases, the number of message transmissions increases",
+				Check: increasing("Simulation"),
+			},
+			{
+				Paper: "the analytical and simulation results are very close to each other (simulation within the bound)",
+				Check: dominates("Analysis", "Simulation", 1e-9),
+			},
+			{
+				Paper: "the message cost without anonymity is the smallest",
+				Check: dominates("Simulation", "Non-anonymous", 0.5),
+			},
+		}
+	case "fig12":
+		return []Claim{
+			{
+				Paper: "the anonymity decreases when L increases",
+				Check: seriesOrdered("Simulation: L=5", "Simulation: L=3", "Simulation: L=1"),
+			},
+			{
+				Paper: "numerical and simulation results of L=3 are very close when c/n <= 30%",
+				Check: closePrefix("Analysis: L=3", "Simulation: L=3", 0.3, 0.06),
+			},
+		}
+	case "fig13":
+		return []Claim{
+			{
+				Paper: "the numerical and simulation results are very close to each other",
+				Check: closeSeries("Analysis: L=1", "Simulation: L=1", 0.05),
+			},
+			{
+				Paper: "anonymity grows with the group size at both L",
+				Check: increasing("Simulation: L=3"),
+			},
+		}
+	case "fig14":
+		return []Claim{
+			{
+				Paper: "the delivery rate reaches ~100% within 1800 seconds on the dense Cambridge trace",
+				Check: finalAtLeast("Simulation: L=1", 0.85),
+			},
+			{
+				Paper: "our analysis presents the similar trend as the real trace",
+				Check: sameTrend("Analysis: L=1", "Simulation: L=1"),
+			},
+		}
+	case "fig15":
+		return []Claim{
+			{
+				Paper: "the proposed traceable rate analysis provides close approximation even with the real traces",
+				Check: closeSeries("Analysis: L=1", "Simulation: L=1", 0.05),
+			},
+		}
+	case "fig16":
+		return []Claim{
+			{
+				Paper: "the path anonymity decreases as the percentage of compromised nodes increases",
+				Check: decreasing("Simulation: L=1"),
+			},
+			{
+				Paper: "the results from simulations and the analysis are very close to each other",
+				Check: closeSeries("Analysis: L=1", "Simulation: L=1", 0.05),
+			},
+		}
+	case "fig17":
+		return []Claim{
+			{
+				Paper: "the delivery rate plateaus where there are no contacts, then increases with longer deadlines",
+				Check: hasPlateauThenGrowth("Simulation: L=1"),
+			},
+			{
+				Paper: "multi-copy forwarding improves delivery only slightly on the Infocom trace",
+				Check: marginalGain("Simulation: L=1", "Simulation: L=5", 0.45),
+			},
+		}
+	case "fig18":
+		return []Claim{
+			{
+				Paper: "the difference between the analysis and simulation results are up to only a few percents",
+				Check: closeSeries("Analysis: L=1", "Simulation: L=1", 0.05),
+			},
+		}
+	case "fig19":
+		return []Claim{
+			{
+				Paper: "when L=1, the numerical and simulation results are nearly matched",
+				Check: closeSeries("Analysis: L=1", "Simulation: L=1", 0.05),
+			},
+			{
+				Paper: "the path anonymity slightly decreases from L=3 to L=5",
+				Check: seriesOrdered("Simulation: L=5", "Simulation: L=3", "Simulation: L=1"),
+			},
+		}
+	case "ablation-baselines":
+		return []Claim{
+			{
+				Paper: "(reproduction) epidemic flooding upper-bounds every protocol's delivery rate",
+				Check: dominates("Epidemic", "Onion (K=3, L=1)", 0.02),
+			},
+			{
+				Paper: "(reproduction) anonymity costs delivery: non-anonymous epidemic beats the single-copy onion",
+				Check: seriesOrdered("Onion (K=3, L=1)", "Epidemic"),
+			},
+			{
+				Paper: "(reproduction) multi-copy spray narrows but does not close the gap",
+				Check: seriesOrdered("Onion (K=3, L=1)", "Onion (K=3, L=3 spray)", "Epidemic"),
+			},
+		}
+	case "ablation-buffers":
+		return []Claim{
+			{
+				Paper: "(reproduction) delivery rate rises with the buffer limit",
+				Check: increasing("No acknowledgements"),
+			},
+			{
+				Paper: "(reproduction) anti-packets recover delivery lost to buffer pressure (mean over the sweep)",
+				Check: seriesOrdered("No acknowledgements", "Anti-packets"),
+			},
+		}
+	case "ablation-predecessor":
+		return []Claim{
+			{
+				Paper: "(reproduction) longer observation improves the predecessor attack against a single-copy source",
+				Check: increasing("L=1 (single copy)"),
+			},
+			{
+				Paper: "(reproduction) spray mode dilutes the predecessor attack relative to strict multi-copy",
+				Check: dominates("L=3 strict", "L=3 spray", 0.1),
+			},
+		}
+	case "ablation-spray":
+		return []Claim{
+			{
+				Paper: "(reproduction) the spray augmentation never loses to strict Algorithm 2",
+				Check: dominates("Spray (Sec. V variant)", "Strict (Alg. 2)", 0.08),
+			},
+		}
+	case "ablation-traceable":
+		return []Claim{
+			{
+				Paper: "(reproduction) the exact run-length expectation matches Monte Carlo everywhere",
+				Check: closeSeries("Exact expectation", "Monte Carlo", 0.03),
+			},
+		}
+	case "ablation-tps":
+		return []Claim{
+			{
+				Paper: "(reproduction) short group-aggregated onion paths beat TPS's single-node pivot",
+				Check: dominates("Onion groups (K=3)", "TPS (s=3, tau=2)", 0.05),
+			},
+		}
+	case "ablation-model-gap":
+		return []Claim{
+			{
+				Paper: "(reproduction) Eq. 4 as printed is at least as optimistic as the last-hop-averaged variant",
+				Check: dominates("Analysis (Eq. 4 as printed)", "Analysis (last hop averaged)", 1e-9),
+			},
+		}
+	default:
+		return nil
+	}
+}
+
+// --- claim combinators ---
+
+func getSeries(f *Figure, name string) (*stats.Series, bool, string) {
+	s, ok := f.SeriesByName(name)
+	if !ok {
+		return nil, false, fmt.Sprintf("series %q missing", name)
+	}
+	return s, true, ""
+}
+
+// seriesOrdered checks mean(first) <= mean(second) <= ... with a small
+// noise allowance.
+func seriesOrdered(names ...string) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		const slack = 0.02
+		prev := -math.MaxFloat64
+		detail := ""
+		for _, name := range names {
+			s, ok, msg := getSeries(f, name)
+			if !ok {
+				return false, msg
+			}
+			m := stats.Mean(s.Y)
+			detail += fmt.Sprintf("%s mean=%.3f; ", name, m)
+			if m < prev-slack {
+				return false, detail + "ordering violated"
+			}
+			prev = m
+		}
+		return true, detail + "ordered as claimed"
+	}
+}
+
+// increasing checks the series rises from its first to last point and
+// never dips sharply.
+func increasing(name string) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		s, ok, msg := getSeries(f, name)
+		if !ok {
+			return false, msg
+		}
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last <= first {
+			return false, fmt.Sprintf("%s: %.3f -> %.3f not increasing", name, first, last)
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1]-0.05 {
+				return false, fmt.Sprintf("%s dips at x=%v", name, s.X[i])
+			}
+		}
+		return true, fmt.Sprintf("%s rises %.3f -> %.3f", name, first, last)
+	}
+}
+
+// decreasing is the mirror of increasing.
+func decreasing(name string) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		s, ok, msg := getSeries(f, name)
+		if !ok {
+			return false, msg
+		}
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last >= first {
+			return false, fmt.Sprintf("%s: %.3f -> %.3f not decreasing", name, first, last)
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+0.05 {
+				return false, fmt.Sprintf("%s bumps at x=%v", name, s.X[i])
+			}
+		}
+		return true, fmt.Sprintf("%s falls %.3f -> %.3f", name, first, last)
+	}
+}
+
+// closeSeries checks |a - b| <= tol pointwise.
+func closeSeries(a, b string, tol float64) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		sa, ok, msg := getSeries(f, a)
+		if !ok {
+			return false, msg
+		}
+		sb, ok, msg := getSeries(f, b)
+		if !ok {
+			return false, msg
+		}
+		maxGap := 0.0
+		for i := range sa.Y {
+			maxGap = math.Max(maxGap, math.Abs(sa.Y[i]-sb.Y[i]))
+		}
+		return maxGap <= tol, fmt.Sprintf("max |%s - %s| = %.3f (tol %.3f)", a, b, maxGap, tol)
+	}
+}
+
+// closePrefix checks closeness only for x <= xMax (the paper's claims
+// about the small-c regime).
+func closePrefix(a, b string, xMax, tol float64) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		sa, ok, msg := getSeries(f, a)
+		if !ok {
+			return false, msg
+		}
+		sb, ok, msg := getSeries(f, b)
+		if !ok {
+			return false, msg
+		}
+		maxGap := 0.0
+		for i := range sa.Y {
+			if sa.X[i] > xMax {
+				continue
+			}
+			maxGap = math.Max(maxGap, math.Abs(sa.Y[i]-sb.Y[i]))
+		}
+		return maxGap <= tol, fmt.Sprintf("max |%s - %s| = %.3f for x <= %v (tol %.3f)", a, b, maxGap, xMax, tol)
+	}
+}
+
+// sameTrend checks rank correlation between two series is strongly
+// positive: they rise and fall together.
+func sameTrend(a, b string) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		sa, ok, msg := getSeries(f, a)
+		if !ok {
+			return false, msg
+		}
+		sb, ok, msg := getSeries(f, b)
+		if !ok {
+			return false, msg
+		}
+		agree, total := 0, 0
+		for i := 1; i < len(sa.Y); i++ {
+			da, db := sa.Y[i]-sa.Y[i-1], sb.Y[i]-sb.Y[i-1]
+			if math.Abs(da) < 1e-6 && math.Abs(db) < 1e-6 {
+				continue // both flat: trivially agreeing, skip
+			}
+			total++
+			if (da >= -1e-6 && db >= -1e-6) || (da <= 1e-6 && db <= 1e-6) {
+				agree++
+			}
+		}
+		if total == 0 {
+			return true, "both series flat"
+		}
+		frac := float64(agree) / float64(total)
+		return frac >= 0.8, fmt.Sprintf("%s and %s move together on %.0f%% of steps", a, b, frac*100)
+	}
+}
+
+// dominates checks a >= b - slack pointwise.
+func dominates(a, b string, slack float64) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		sa, ok, msg := getSeries(f, a)
+		if !ok {
+			return false, msg
+		}
+		sb, ok, msg := getSeries(f, b)
+		if !ok {
+			return false, msg
+		}
+		worst := 0.0
+		for i := range sa.Y {
+			worst = math.Max(worst, sb.Y[i]-sa.Y[i])
+		}
+		return worst <= slack, fmt.Sprintf("worst shortfall of %s under %s = %.3f (slack %.3f)", a, b, worst, slack)
+	}
+}
+
+// finalAtLeast checks the last point of the series reaches the floor.
+func finalAtLeast(name string, floor float64) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		s, ok, msg := getSeries(f, name)
+		if !ok {
+			return false, msg
+		}
+		last := s.Y[len(s.Y)-1]
+		return last >= floor, fmt.Sprintf("%s final value %.3f (floor %.3f)", name, last, floor)
+	}
+}
+
+// hasPlateauThenGrowth checks for a flat stretch in the middle of the
+// sweep followed by further growth (the Infocom diurnal signature).
+func hasPlateauThenGrowth(name string) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		s, ok, msg := getSeries(f, name)
+		if !ok {
+			return false, msg
+		}
+		plateauAt := -1
+		for i := 2; i+1 < len(s.Y); i++ {
+			if s.Y[i] > 0.05 && s.Y[i] < 0.95 && s.Y[i+1]-s.Y[i-1] < 0.02 {
+				plateauAt = i
+				break
+			}
+		}
+		if plateauAt < 0 {
+			return false, "no plateau found"
+		}
+		last := s.Y[len(s.Y)-1]
+		if last <= s.Y[plateauAt]+0.05 {
+			return false, fmt.Sprintf("no growth after the plateau at x=%v", s.X[plateauAt])
+		}
+		return true, fmt.Sprintf("plateau near x=%v at %.3f, final %.3f", s.X[plateauAt], s.Y[plateauAt], last)
+	}
+}
+
+// marginalGain checks b improves on a, but by at most maxGain in the
+// mean (the paper's "the difference is not significant").
+func marginalGain(a, b string, maxGain float64) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		sa, ok, msg := getSeries(f, a)
+		if !ok {
+			return false, msg
+		}
+		sb, ok, msg := getSeries(f, b)
+		if !ok {
+			return false, msg
+		}
+		gain := stats.Mean(sb.Y) - stats.Mean(sa.Y)
+		return gain >= -0.05 && gain <= maxGain,
+			fmt.Sprintf("mean gain of %s over %s = %.3f (window [-0.05, %.2f])", b, a, gain, maxGain)
+	}
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestClaimsRegisteredForEveryFigure(t *testing.T) {
+	_, ids := Registry()
+	for _, id := range ids {
+		if len(ClaimsFor(id)) == 0 {
+			t.Errorf("no claims for %s", id)
+		}
+	}
+	_, ablIDs := AblationRegistry()
+	for _, id := range ablIDs {
+		if len(ClaimsFor(id)) == 0 {
+			t.Errorf("no claims for %s", id)
+		}
+	}
+	if ClaimsFor("not-a-figure") != nil {
+		t.Error("claims for unknown figure")
+	}
+}
+
+func TestClaimsPassOnGeneratedFigures(t *testing.T) {
+	// The fast options keep this affordable; each figure's claims must
+	// hold at test effort too (slack in the combinators covers noise).
+	reg, ids := Registry()
+	ablReg, ablIDs := AblationRegistry()
+	for id, gen := range ablReg {
+		reg[id] = gen
+	}
+	all := append(append([]string(nil), ids...), ablIDs...)
+	for _, id := range all {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fig, err := reg[id](fastOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range ClaimsFor(id) {
+				ok, detail := c.Check(fig)
+				if !ok {
+					t.Errorf("claim %q failed: %s", c.Paper, detail)
+				}
+			}
+		})
+	}
+}
+
+func claimFigure() *Figure {
+	return &Figure{
+		ID: "t", Title: "t",
+		Series: []stats.Series{
+			{Name: "up", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.5, 0.9}},
+			{Name: "down", X: []float64{1, 2, 3}, Y: []float64{0.9, 0.5, 0.1}},
+			{Name: "upish", X: []float64{1, 2, 3}, Y: []float64{0.12, 0.52, 0.88}},
+			{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{0.5, 0.5, 0.5}},
+			{Name: "low", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.1, 0.1}},
+		},
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	f := claimFigure()
+	cases := []struct {
+		name  string
+		check func(*Figure) (bool, string)
+		want  bool
+	}{
+		{"increasing up", increasing("up"), true},
+		{"increasing down", increasing("down"), false},
+		{"decreasing down", decreasing("down"), true},
+		{"decreasing flat", decreasing("flat"), false},
+		{"close up/upish", closeSeries("up", "upish", 0.05), true},
+		{"close up/down", closeSeries("up", "down", 0.05), false},
+		{"trend up/upish", sameTrend("up", "upish"), true},
+		{"trend up/down", sameTrend("up", "down"), false},
+		{"ordered flat then low is wrong", seriesOrdered("flat", "low"), false},
+		{"ordered low then flat", seriesOrdered("low", "flat"), true},
+		{"dominates up over down", dominates("up", "down", 1), true},
+		{"dominates up over down no slack", dominates("up", "down", 0.1), false},
+		{"final at least", finalAtLeast("up", 0.8), true},
+		{"final too low", finalAtLeast("down", 0.8), false},
+		{"close prefix", closePrefix("up", "down", 0, 0.01), true}, // nothing in range
+		{"missing series", increasing("nope"), false},
+	}
+	for _, c := range cases {
+		got, detail := c.check(f)
+		if got != c.want {
+			t.Errorf("%s: got %v (%s), want %v", c.name, got, detail, c.want)
+		}
+	}
+}
+
+func TestPlateauCombinator(t *testing.T) {
+	fig := &Figure{Series: []stats.Series{
+		{Name: "p", X: []float64{1, 2, 4, 8, 16, 32, 64}, Y: []float64{0.05, 0.2, 0.4, 0.4, 0.4, 0.6, 0.8}},
+		{Name: "np", X: []float64{1, 2, 4, 8}, Y: []float64{0.1, 0.3, 0.5, 0.7}},
+	}}
+	if ok, detail := hasPlateauThenGrowth("p")(fig); !ok {
+		t.Fatalf("plateau not detected: %s", detail)
+	}
+	if ok, _ := hasPlateauThenGrowth("np")(fig); ok {
+		t.Fatal("plateau falsely detected")
+	}
+}
+
+func TestMarginalGainCombinator(t *testing.T) {
+	fig := &Figure{Series: []stats.Series{
+		{Name: "base", X: []float64{1, 2}, Y: []float64{0.4, 0.5}},
+		{Name: "small", X: []float64{1, 2}, Y: []float64{0.45, 0.55}},
+		{Name: "big", X: []float64{1, 2}, Y: []float64{0.9, 1.0}},
+	}}
+	if ok, _ := marginalGain("base", "small", 0.2)(fig); !ok {
+		t.Fatal("small gain rejected")
+	}
+	if ok, _ := marginalGain("base", "big", 0.2)(fig); ok {
+		t.Fatal("big gain accepted as marginal")
+	}
+}

@@ -1,0 +1,432 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// deliveryDeadlines is the paper's deadline sweep: 60 to 1800 minutes
+// (Table II).
+func deliveryDeadlines() []float64 {
+	out := make([]float64, 0, 11)
+	for t := 60.0; t <= 1800; t += 174 {
+		out = append(out, t)
+	}
+	return append(out, 1800)
+}
+
+// compromisedFractions is the paper's compromised-rate sweep: 1% to
+// 50% (Table II).
+func compromisedFractions() []float64 {
+	out := []float64{0.01}
+	for f := 0.05; f <= 0.501; f += 0.05 {
+		out = append(out, math.Round(f*100)/100)
+	}
+	return out
+}
+
+type labeledConfig struct {
+	label string
+	cfg   core.Config
+}
+
+// deliveryCurves runs one simulation series and one analysis series
+// per configuration: each routed message is simulated once to the
+// maximum deadline and its delivery time feeds an empirical CDF, which
+// is exactly the delivery rate as a function of the deadline.
+func deliveryCurves(opt Options, cfgs []labeledConfig, deadlines []float64) ([]stats.Series, []string, error) {
+	var series []stats.Series
+	var notes []string
+	maxT := deadlines[len(deadlines)-1]
+	for _, lc := range cfgs {
+		lcfg := lc.cfg
+		lcfg.Seed = opt.Seed
+		nw, err := core.NewNetwork(lcfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiment: %s: %w", lc.label, err)
+		}
+		ecdf := stats.NewECDF()
+		modelAcc := make([]stats.Accumulator, len(deadlines))
+		skipped := 0
+		for i := 0; i < opt.Runs; i++ {
+			trial, err := nw.NewTrial(i)
+			if err != nil {
+				skipped++
+				continue
+			}
+			res, err := nw.Route(trial, maxT, false, i)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiment: %s run %d: %w", lc.label, i, err)
+			}
+			if res.Delivered {
+				ecdf.Observe(res.Time)
+			} else {
+				ecdf.ObserveCensored()
+			}
+			for d, t := range deadlines {
+				m, err := nw.ModelDelivery(trial, t)
+				if err != nil {
+					return nil, nil, fmt.Errorf("experiment: %s model: %w", lc.label, err)
+				}
+				modelAcc[d].Add(m)
+			}
+		}
+		if skipped > 0 {
+			notes = append(notes, fmt.Sprintf("%s: %d trials skipped (no eligible group path)", lc.label, skipped))
+		}
+
+		analysis := stats.Series{Name: "Analysis: " + lc.label}
+		simulation := stats.Series{Name: "Simulation: " + lc.label}
+		n := float64(ecdf.N())
+		for d, t := range deadlines {
+			analysis.Append(t, modelAcc[d].Mean(), modelAcc[d].CI95())
+			p := ecdf.At(t)
+			ci := 0.0
+			if n > 0 {
+				ci = 1.96 * math.Sqrt(p*(1-p)/n)
+			}
+			simulation.Append(t, p, ci)
+		}
+		series = append(series, analysis, simulation)
+	}
+	return series, notes, nil
+}
+
+// securityPoint measures one fast-mode security point.
+func securityPoint(nw *core.Network, frac float64, runs, salt int, metric func(core.SecurityOutcome) float64) (stats.Summary, error) {
+	var acc stats.Accumulator
+	for i := 0; i < runs; i++ {
+		out, err := nw.FastSecurityTrial(frac, salt*1000003+i)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		acc.Add(metric(out))
+	}
+	return acc.Summarize(), nil
+}
+
+// Fig04 — delivery rate vs. deadline for group sizes g in {1, 5, 10}
+// (K = 3, L = 1, n = 100).
+func Fig04(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var cfgs []labeledConfig
+	for _, g := range []int{1, 5, 10} {
+		cfg := core.DefaultConfig()
+		cfg.GroupSize = g
+		cfgs = append(cfgs, labeledConfig{fmt.Sprintf("g=%d", g), cfg})
+	}
+	series, notes, err := deliveryCurves(opt, cfgs, deliveryDeadlines())
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig04", Title: "Delivery rate w.r.t. deadline (group size)",
+		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
+		Series: series, Notes: notes,
+	}, nil
+}
+
+// Fig05 — delivery rate vs. deadline for K in {3, 5, 10} onion
+// routers (g = 5, L = 1).
+func Fig05(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var cfgs []labeledConfig
+	for _, k := range []int{3, 5, 10} {
+		cfg := core.DefaultConfig()
+		cfg.Relays = k
+		cfgs = append(cfgs, labeledConfig{fmt.Sprintf("%d onions", k), cfg})
+	}
+	series, notes, err := deliveryCurves(opt, cfgs, deliveryDeadlines())
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig05", Title: "Delivery rate w.r.t. deadline (number of onion routers)",
+		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
+		Series: series, Notes: notes,
+	}, nil
+}
+
+// Fig06 — traceable rate vs. compromised rate for K in {3, 5, 10}.
+func Fig06(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	fracs := compromisedFractions()
+	fig := &Figure{
+		ID: "fig06", Title: "Traceable rate w.r.t. compromised rate",
+		XLabel: "Compromised rate (c/n)", YLabel: "Traceable rate",
+	}
+	for _, k := range []int{3, 5, 10} {
+		cfg := core.DefaultConfig()
+		cfg.Relays = k
+		cfg.Seed = opt.Seed
+		nw, err := core.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: %d onions", k)}
+		simulation := stats.Series{Name: fmt.Sprintf("Simulation: %d onions", k)}
+		for fi, frac := range fracs {
+			analysis.Append(frac, nw.ModelTraceableRate(frac), 0)
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, k*100+fi,
+				func(o core.SecurityOutcome) float64 { return o.TraceableRate })
+			if err != nil {
+				return nil, err
+			}
+			simulation.Append(frac, sum.Mean, sum.CI95)
+		}
+		fig.Series = append(fig.Series, analysis, simulation)
+	}
+	return fig, nil
+}
+
+// Fig07 — traceable rate vs. number of onion relays for c/n in
+// {10%, 20%, 30%}.
+func Fig07(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	ks := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	fig := &Figure{
+		ID: "fig07", Title: "Traceable rate w.r.t. number of onion relays",
+		XLabel: "Number of onion relays (K)", YLabel: "Traceable rate",
+	}
+	for _, frac := range []float64{0.1, 0.2, 0.3} {
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: c/n=%.0f%%", frac*100)}
+		simulation := stats.Series{Name: fmt.Sprintf("Simulation: c/n=%.0f%%", frac*100)}
+		for _, k := range ks {
+			cfg := core.DefaultConfig()
+			cfg.Relays = k
+			cfg.Seed = opt.Seed
+			nw, err := core.NewNetwork(cfg)
+			if err != nil {
+				return nil, err
+			}
+			analysis.Append(float64(k), nw.ModelTraceableRate(frac), 0)
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, int(frac*100)*100+k,
+				func(o core.SecurityOutcome) float64 { return o.TraceableRate })
+			if err != nil {
+				return nil, err
+			}
+			simulation.Append(float64(k), sum.Mean, sum.CI95)
+		}
+		fig.Series = append(fig.Series, analysis, simulation)
+	}
+	return fig, nil
+}
+
+// Fig08 — path anonymity vs. compromised rate for g in {1, 5, 10}
+// (L = 1).
+func Fig08(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	fracs := compromisedFractions()
+	fig := &Figure{
+		ID: "fig08", Title: "Path anonymity w.r.t. compromised rate (group size)",
+		XLabel: "Compromised rate (c/n)", YLabel: "Path anonymity",
+	}
+	for _, g := range []int{1, 5, 10} {
+		cfg := core.DefaultConfig()
+		cfg.GroupSize = g
+		cfg.Seed = opt.Seed
+		nw, err := core.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: g=%d", g)}
+		simulation := stats.Series{Name: fmt.Sprintf("Simulation: g=%d", g)}
+		for fi, frac := range fracs {
+			analysis.Append(frac, nw.ModelPathAnonymity(frac), 0)
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, g*1000+fi,
+				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
+			if err != nil {
+				return nil, err
+			}
+			simulation.Append(frac, sum.Mean, sum.CI95)
+		}
+		fig.Series = append(fig.Series, analysis, simulation)
+	}
+	return fig, nil
+}
+
+// Fig09 — path anonymity vs. group size for c/n in {10%, 20%, 30%}
+// (L = 1).
+func Fig09(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	gs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	fig := &Figure{
+		ID: "fig09", Title: "Path anonymity w.r.t. group size",
+		XLabel: "Group size (g)", YLabel: "Path anonymity",
+	}
+	for _, frac := range []float64{0.1, 0.2, 0.3} {
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: c/n=%.0f%%", frac*100)}
+		simulation := stats.Series{Name: fmt.Sprintf("Simulation: c/n=%.0f%%", frac*100)}
+		for _, g := range gs {
+			cfg := core.DefaultConfig()
+			cfg.GroupSize = g
+			cfg.Seed = opt.Seed
+			nw, err := core.NewNetwork(cfg)
+			if err != nil {
+				return nil, err
+			}
+			analysis.Append(float64(g), nw.ModelPathAnonymity(frac), 0)
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, int(frac*100)*1000+g,
+				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
+			if err != nil {
+				return nil, err
+			}
+			simulation.Append(float64(g), sum.Mean, sum.CI95)
+		}
+		fig.Series = append(fig.Series, analysis, simulation)
+	}
+	return fig, nil
+}
+
+// Fig10 — delivery rate vs. deadline for L in {1, 3, 5} copies
+// (g = 5, K = 3, spray mode).
+func Fig10(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var cfgs []labeledConfig
+	for _, l := range []int{1, 3, 5} {
+		cfg := core.DefaultConfig()
+		cfg.Copies = l
+		cfgs = append(cfgs, labeledConfig{fmt.Sprintf("L=%d", l), cfg})
+	}
+	series, notes, err := deliveryCurves(opt, cfgs, deliveryDeadlines())
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig10", Title: "Delivery rate w.r.t. deadline (number of copies, g=5)",
+		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
+		Series: series, Notes: notes,
+	}, nil
+}
+
+// Fig11 — message transmissions vs. number of copies: non-anonymous
+// baseline 2L, the analysis bound 2L-1+KL, and the simulated protocol.
+func Fig11(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	const k = 3
+	copies := []int{1, 2, 3, 4, 5}
+	nonAnon := stats.Series{Name: "Non-anonymous"}
+	analysis := stats.Series{Name: "Analysis"}
+	simulation := stats.Series{Name: "Simulation"}
+	for _, l := range copies {
+		nonAnon.Append(float64(l), float64(model.CostNonAnonymous(l)), 0)
+		analysis.Append(float64(l), float64(model.CostMultiCopyBound(k, l)), 0)
+
+		cfg := core.DefaultConfig()
+		cfg.Copies = l
+		cfg.Seed = opt.Seed
+		nw, err := core.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var acc stats.Accumulator
+		for i := 0; i < opt.Runs; i++ {
+			trial, err := nw.NewTrial(i)
+			if err != nil {
+				continue
+			}
+			res, err := nw.Route(trial, 1800, true, i)
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(float64(res.Transmissions))
+		}
+		simulation.Append(float64(l), acc.Mean(), acc.CI95())
+	}
+	return &Figure{
+		ID: "fig11", Title: "Message transmission cost w.r.t. number of copies",
+		XLabel: "Number of copies (L)", YLabel: "Number of transmissions",
+		Series: []stats.Series{nonAnon, analysis, simulation},
+	}, nil
+}
+
+// Fig12 — path anonymity vs. compromised rate for L in {1, 3, 5}
+// (g = 5).
+func Fig12(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	fracs := compromisedFractions()
+	fig := &Figure{
+		ID: "fig12", Title: "Path anonymity w.r.t. compromised rate (copies, g=5)",
+		XLabel: "Compromised rate (c/n)", YLabel: "Path anonymity",
+	}
+	for _, l := range []int{1, 3, 5} {
+		cfg := core.DefaultConfig()
+		cfg.Copies = l
+		cfg.Seed = opt.Seed
+		nw, err := core.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: L=%d", l)}
+		simulation := stats.Series{Name: fmt.Sprintf("Simulation: L=%d", l)}
+		for fi, frac := range fracs {
+			analysis.Append(frac, nw.ModelPathAnonymity(frac), 0)
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, l*10000+fi,
+				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
+			if err != nil {
+				return nil, err
+			}
+			simulation.Append(frac, sum.Mean, sum.CI95)
+		}
+		fig.Series = append(fig.Series, analysis, simulation)
+	}
+	return fig, nil
+}
+
+// Fig13 — path anonymity vs. group size for L in {1, 3} (c/n = 10%).
+func Fig13(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	const frac = 0.1
+	gs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	fig := &Figure{
+		ID: "fig13", Title: "Path anonymity w.r.t. group size (copies, c/n=10%)",
+		XLabel: "Group size (g)", YLabel: "Path anonymity",
+	}
+	for _, l := range []int{1, 3} {
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: L=%d", l)}
+		simulation := stats.Series{Name: fmt.Sprintf("Simulation: L=%d", l)}
+		for _, g := range gs {
+			cfg := core.DefaultConfig()
+			cfg.Copies = l
+			cfg.GroupSize = g
+			cfg.Seed = opt.Seed
+			nw, err := core.NewNetwork(cfg)
+			if err != nil {
+				return nil, err
+			}
+			analysis.Append(float64(g), nw.ModelPathAnonymity(frac), 0)
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, l*100000+g,
+				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
+			if err != nil {
+				return nil, err
+			}
+			simulation.Append(float64(g), sum.Mean, sum.CI95)
+		}
+		fig.Series = append(fig.Series, analysis, simulation)
+	}
+	return fig, nil
+}

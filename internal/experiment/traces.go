@@ -1,0 +1,274 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/contact"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Trace-figure parameters (Sec. V-D/E): Cambridge uses K=3, g=10,
+// L=1; Infocom uses K=3, g=5, L in {1,3,5}.
+const (
+	cambridgeGroupSize = 10
+	infocomGroupSize   = 5
+	traceRelays        = 3
+)
+
+func cambridgeNetwork(opt Options) (*core.TraceNetwork, error) {
+	tr, err := trace.GenerateCambridge(rng.New(opt.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generate cambridge: %w", err)
+	}
+	return core.NewTraceNetwork(tr, opt.Seed+1)
+}
+
+func infocomNetwork(opt Options) (*core.TraceNetwork, error) {
+	tr, err := trace.GenerateInfocom(rng.New(opt.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generate infocom: %w", err)
+	}
+	return core.NewTraceNetwork(tr, opt.Seed+1)
+}
+
+// traceDeliveryCurves builds one Analysis + Simulation pair per copy
+// count by replaying the trace. Deadlines are in seconds.
+func traceDeliveryCurves(opt Options, tn *core.TraceNetwork, g int, copyCounts []int, deadlines []float64) ([]stats.Series, []string, error) {
+	var series []stats.Series
+	var notes []string
+	maxT := deadlines[len(deadlines)-1]
+	for _, l := range copyCounts {
+		ecdf := stats.NewECDF()
+		modelAcc := make([]stats.Accumulator, len(deadlines))
+		modelSkipped := 0
+		for i := 0; i < opt.TraceRuns; i++ {
+			trial, err := tn.NewTrial(l*1000000+i, g, traceRelays)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := tn.Route(trial, maxT, l, true, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			if res.Delivered {
+				ecdf.Observe(res.Time - trial.Start)
+			} else {
+				ecdf.ObserveCensored()
+			}
+			for d, t := range deadlines {
+				m, ok, err := tn.ModelDelivery(trial, t, l)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !ok {
+					if d == 0 {
+						modelSkipped++
+					}
+					continue
+				}
+				modelAcc[d].Add(m)
+			}
+		}
+		if modelSkipped > 0 {
+			notes = append(notes, fmt.Sprintf(
+				"L=%d: %d/%d trials excluded from the analysis curve (a fitted hop rate was zero)",
+				l, modelSkipped, opt.TraceRuns))
+		}
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: L=%d", l)}
+		simulation := stats.Series{Name: fmt.Sprintf("Simulation: L=%d", l)}
+		n := float64(ecdf.N())
+		for d, t := range deadlines {
+			analysis.Append(t, modelAcc[d].Mean(), modelAcc[d].CI95())
+			p := ecdf.At(t)
+			ci := 0.0
+			if n > 0 {
+				ci = 1.96 * math.Sqrt(p*(1-p)/n)
+			}
+			simulation.Append(t, p, ci)
+		}
+		series = append(series, analysis, simulation)
+	}
+	return series, notes, nil
+}
+
+// traceSecuritySeries measures a security metric in fast mode for a
+// trace population of n nodes (the metrics are contact-graph
+// independent, Sec. V-D).
+func traceSecuritySeries(name string, n, g, copies int, fracs []float64, runs int, seed uint64,
+	metric func(a *adversary.Adversary, senders []contact.NodeID, cO int) float64) (stats.Series, error) {
+	root := rng.New(seed)
+	out := stats.Series{Name: name}
+	for fi, frac := range fracs {
+		var acc stats.Accumulator
+		for i := 0; i < runs; i++ {
+			s := root.SplitN("trial", fi*1000000+i)
+			adv, err := adversary.RandomFraction(n, frac, s.Split("adv"))
+			if err != nil {
+				return stats.Series{}, err
+			}
+			senders, err := adversary.SampleSenders(n, traceRelays, s.Split("senders"))
+			if err != nil {
+				return stats.Series{}, err
+			}
+			positions, err := adversary.SamplePositions(n, traceRelays, copies, g, copies > 1, s.Split("positions"))
+			if err != nil {
+				return stats.Series{}, err
+			}
+			acc.Add(metric(adv, senders, adv.PositionsCompromised(positions)))
+		}
+		out.Append(frac, acc.Mean(), acc.CI95())
+	}
+	return out, nil
+}
+
+// Fig14 — delivery rate vs. deadline on the Cambridge trace (L = 1,
+// K = 3, g = 10, 12 nodes).
+func Fig14(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	tn, err := cambridgeNetwork(opt)
+	if err != nil {
+		return nil, err
+	}
+	deadlines := []float64{180, 360, 540, 720, 900, 1080, 1260, 1440, 1620, 1800}
+	series, notes, err := traceDeliveryCurves(opt, tn, cambridgeGroupSize, []int{1}, deadlines)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, "synthetic Cambridge-like trace (see DESIGN.md substitution table)")
+	return &Figure{
+		ID: "fig14", Title: "Delivery rate w.r.t. deadline (Cambridge trace)",
+		XLabel: "Deadline (seconds)", YLabel: "Delivery rate",
+		Series: series, Notes: notes,
+	}, nil
+}
+
+// Fig17 — delivery rate vs. deadline on the Infocom 2005 trace
+// (L in {1, 3, 5}, K = 3, g = 5, 41 nodes; log-scale x-axis).
+func Fig17(opt Options) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	tn, err := infocomNetwork(opt)
+	if err != nil {
+		return nil, err
+	}
+	var deadlines []float64
+	for t := 16.0; t <= 65536; t *= 2 {
+		deadlines = append(deadlines, t)
+	}
+	series, notes, err := traceDeliveryCurves(opt, tn, infocomGroupSize, []int{1, 3, 5}, deadlines)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, "synthetic Infocom-like trace; the plateau spans the silent session breaks")
+	return &Figure{
+		ID: "fig17", Title: "Delivery rate w.r.t. deadline (Infocom 2005 trace)",
+		XLabel: "Deadline (seconds)", YLabel: "Delivery rate",
+		LogX:   true,
+		Series: series, Notes: notes,
+	}, nil
+}
+
+// traceSecurityFigure builds the shared structure of Figs. 15/16/18/19.
+func traceSecurityFigure(opt Options, id, title, metricName string, n, g int, copyCounts []int,
+	analysisFn func(frac float64, copies int) float64,
+	metricFn func(a *adversary.Adversary, senders []contact.NodeID, cO int) float64) (*Figure, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	fracs := compromisedFractions()
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "Compromised rate (c/n)", YLabel: metricName,
+	}
+	for _, l := range copyCounts {
+		analysis := stats.Series{Name: fmt.Sprintf("Analysis: L=%d", l)}
+		for _, frac := range fracs {
+			analysis.Append(frac, analysisFn(frac, l), 0)
+		}
+		simulation, err := traceSecuritySeries(
+			fmt.Sprintf("Simulation: L=%d", l), n, g, l, fracs, opt.SecurityRuns,
+			opt.Seed+uint64(l), metricFn)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, analysis, simulation)
+	}
+	return fig, nil
+}
+
+// Fig15 — traceable rate vs. compromised rate on the Cambridge trace
+// (K = 3, 12 nodes).
+func Fig15(opt Options) (*Figure, error) {
+	const n = 12
+	return traceSecurityFigure(opt, "fig15",
+		"Traceable rate w.r.t. compromised rate (Cambridge trace)",
+		"Traceable rate", n, cambridgeGroupSize, []int{1},
+		func(frac float64, _ int) float64 {
+			return model.TraceableRate(traceRelays+1, frac)
+		},
+		func(a *adversary.Adversary, senders []contact.NodeID, _ int) float64 {
+			return model.TraceableRateOfPath(a.SenderBits(senders))
+		})
+}
+
+// Fig16 — path anonymity vs. compromised rate on the Cambridge trace
+// (L = 1, g = 10, 12 nodes).
+func Fig16(opt Options) (*Figure, error) {
+	const n = 12
+	// Small-n regime: the n >> K premise of the Stirling form (Eq. 19)
+	// fails at n=12, g=10, so the exact entropy ratio (Eqs. 14/17) is
+	// used on both the analysis and the simulation side.
+	fig, err := traceSecurityFigure(opt, "fig16",
+		"Path anonymity w.r.t. compromised rate (Cambridge trace)",
+		"Path anonymity", n, cambridgeGroupSize, []int{1},
+		func(frac float64, l int) float64 {
+			return model.PathAnonymityMultiCopyExact(n, traceRelays+1, cambridgeGroupSize, frac, l)
+		},
+		func(a *adversary.Adversary, _ []contact.NodeID, cO int) float64 {
+			return model.PathAnonymityExact(n, traceRelays+1, cambridgeGroupSize, float64(cO))
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "exact entropy ratio (Eqs. 14/17) used: Eq. 19's n >> K premise fails at n=12")
+	return fig, nil
+}
+
+// Fig18 — traceable rate vs. compromised rate on the Infocom trace
+// (K = 3, 41 nodes).
+func Fig18(opt Options) (*Figure, error) {
+	const n = 41
+	return traceSecurityFigure(opt, "fig18",
+		"Traceable rate w.r.t. compromised rate (Infocom 2005 trace)",
+		"Traceable rate", n, infocomGroupSize, []int{1},
+		func(frac float64, _ int) float64 {
+			return model.TraceableRate(traceRelays+1, frac)
+		},
+		func(a *adversary.Adversary, senders []contact.NodeID, _ int) float64 {
+			return model.TraceableRateOfPath(a.SenderBits(senders))
+		})
+}
+
+// Fig19 — path anonymity vs. compromised rate on the Infocom trace
+// (L in {1, 3, 5}, g = 5, 41 nodes).
+func Fig19(opt Options) (*Figure, error) {
+	const n = 41
+	return traceSecurityFigure(opt, "fig19",
+		"Path anonymity w.r.t. compromised rate (Infocom 2005 trace)",
+		"Path anonymity", n, infocomGroupSize, []int{1, 3, 5},
+		func(frac float64, l int) float64 {
+			return model.PathAnonymityMultiCopyExact(n, traceRelays+1, infocomGroupSize, frac, l)
+		},
+		func(a *adversary.Adversary, _ []contact.NodeID, cO int) float64 {
+			return model.PathAnonymityExact(n, traceRelays+1, infocomGroupSize, float64(cO))
+		})
+}

@@ -1,0 +1,338 @@
+package groups
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/contact"
+	"repro/internal/onion"
+	"repro/internal/rng"
+)
+
+func TestNewPartitionBasic(t *testing.T) {
+	d, err := NewPartition(100, 5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 100 || d.GroupSize() != 5 {
+		t.Fatalf("N=%d g=%d", d.N(), d.GroupSize())
+	}
+	if d.NumGroups() != 20 {
+		t.Fatalf("NumGroups = %d, want 20", d.NumGroups())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for gid := 0; gid < 20; gid++ {
+		if len(d.Members(onion.GroupID(gid))) != 5 {
+			t.Fatalf("group %d has %d members", gid, len(d.Members(onion.GroupID(gid))))
+		}
+	}
+}
+
+func TestNewPartitionRemainder(t *testing.T) {
+	// 13 nodes, g=5: groups of 5, 5, 3 (the paper's smaller-last-group
+	// case).
+	d, err := NewPartition(13, 5, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d", d.NumGroups())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{len(d.Members(0)), len(d.Members(1)), len(d.Members(2))}
+	if sizes[0] != 5 || sizes[1] != 5 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	if _, err := NewPartition(0, 1, rng.New(1)); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := NewPartition(5, 0, rng.New(1)); err == nil {
+		t.Fatal("accepted g=0")
+	}
+	if _, err := NewPartition(5, 6, rng.New(1)); err == nil {
+		t.Fatal("accepted g>n")
+	}
+}
+
+func TestGroupOfConsistentWithMembers(t *testing.T) {
+	d, err := NewPartition(37, 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 37; v++ {
+		gid := d.GroupOf(contact.NodeID(v))
+		found := false
+		for _, m := range d.Members(gid) {
+			if m == contact.NodeID(v) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d not in its own group %d", v, gid)
+		}
+		if !d.Contains(gid, contact.NodeID(v)) {
+			t.Fatalf("Contains disagrees for node %d", v)
+		}
+	}
+}
+
+func TestPartitionIsRandom(t *testing.T) {
+	a, _ := NewPartition(100, 5, rng.New(1))
+	b, _ := NewPartition(100, 5, rng.New(2))
+	diff := false
+	for v := 0; v < 100; v++ {
+		if a.GroupOf(contact.NodeID(v)) != b.GroupOf(contact.NodeID(v)) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("partitions identical across seeds")
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(rawN, rawG uint8) bool {
+		n := int(rawN%200) + 1
+		g := int(rawG)%n + 1
+		d, err := NewPartition(n, g, rng.New(uint64(rawN)*256+uint64(rawG)))
+		if err != nil {
+			return false
+		}
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectPathExcludesEndpointGroups(t *testing.T) {
+	d, err := NewPartition(100, 5, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := contact.NodeID(0), contact.NodeID(99)
+	for trial := 0; trial < 200; trial++ {
+		path, err := d.SelectPath(src, dst, 3, rng.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) != 3 {
+			t.Fatalf("path length %d", len(path))
+		}
+		seen := map[onion.GroupID]bool{}
+		for _, gid := range path {
+			if gid == d.GroupOf(src) || gid == d.GroupOf(dst) {
+				t.Fatalf("path includes an endpoint group")
+			}
+			if seen[gid] {
+				t.Fatalf("duplicate group in path")
+			}
+			seen[gid] = true
+		}
+	}
+}
+
+func TestSelectPathTooManyRelays(t *testing.T) {
+	d, err := NewPartition(10, 5, rng.New(1)) // 2 groups only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SelectPath(0, 9, 3, rng.New(1)); err == nil {
+		t.Fatal("selected more groups than exist")
+	}
+}
+
+func TestSelectPathErrors(t *testing.T) {
+	d, _ := NewPartition(100, 5, rng.New(1))
+	if _, err := d.SelectPath(0, 99, 0, rng.New(1)); err == nil {
+		t.Fatal("accepted k=0")
+	}
+}
+
+func TestPathMembers(t *testing.T) {
+	d, _ := NewPartition(20, 5, rng.New(1))
+	path, err := d.SelectPath(0, 19, 2, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := d.PathMembers(path)
+	if len(ms) != 2 {
+		t.Fatalf("len = %d", len(ms))
+	}
+	for i, gid := range path {
+		if len(ms[i]) != len(d.Members(gid)) {
+			t.Fatalf("member set %d mismatched", i)
+		}
+	}
+}
+
+func TestProvisionKeysAndOnionFlow(t *testing.T) {
+	d, err := NewPartition(20, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GroupCipher(0); err == nil {
+		t.Fatal("cipher available before provisioning")
+	}
+	if _, err := d.NodeCipher(0); err == nil {
+		t.Fatal("node cipher available before provisioning")
+	}
+	if err := d.ProvisionKeys(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, dst := contact.NodeID(0), contact.NodeID(19)
+	path, err := d.SelectPath(src, dst, 3, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := make([]onion.Hop, len(path))
+	for i, gid := range path {
+		c, err := d.GroupCipher(gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops[i] = onion.Hop{Group: gid, Cipher: c}
+	}
+	destCipher, err := d.NodeCipher(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := onion.Build(onion.NodeID(dst), []byte("covert"), hops, destCipher, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any member of R_1 can peel; a member of a different group cannot.
+	c1, _ := d.GroupCipher(path[0])
+	if _, err := onion.Peel(data, c1); err != nil {
+		t.Fatalf("R_1 member failed to peel: %v", err)
+	}
+	other, _ := d.GroupCipher(path[1])
+	if _, err := onion.Peel(data, other); err == nil {
+		t.Fatal("non-member peeled the outer layer")
+	}
+}
+
+func TestNodeCipherRange(t *testing.T) {
+	d, _ := NewPartition(5, 2, rng.New(1))
+	if err := d.ProvisionKeys(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NodeCipher(99); err == nil {
+		t.Fatal("accepted out-of-range node")
+	}
+}
+
+func TestAdHocDisjointEnoughNodes(t *testing.T) {
+	gs, err := AdHoc(100, 5, 3, []contact.NodeID{0, 99}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 {
+		t.Fatalf("groups = %d", len(gs))
+	}
+	for _, g := range gs {
+		if len(g) != 5 {
+			t.Fatalf("group size %d", len(g))
+		}
+		for _, v := range g {
+			if v == 0 || v == 99 {
+				t.Fatal("excluded node selected")
+			}
+			// No duplicates within a group.
+			cnt := 0
+			for _, w := range g {
+				if w == v {
+					cnt++
+				}
+			}
+			if cnt != 1 {
+				t.Fatalf("duplicate node %d in group", v)
+			}
+		}
+	}
+}
+
+func TestAdHocCambridgeRegime(t *testing.T) {
+	// n=12, g=10, K=3, exclude src+dst: every group is the full
+	// candidate set of 10.
+	gs, err := AdHoc(12, 10, 3, []contact.NodeID{0, 11}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gs {
+		if len(g) != 10 {
+			t.Fatalf("group size %d, want all 10 candidates", len(g))
+		}
+	}
+}
+
+func TestAdHocErrors(t *testing.T) {
+	if _, err := AdHoc(0, 1, 1, nil, rng.New(1)); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := AdHoc(5, 0, 1, nil, rng.New(1)); err == nil {
+		t.Fatal("accepted g=0")
+	}
+	if _, err := AdHoc(5, 2, 0, nil, rng.New(1)); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	all := []contact.NodeID{0, 1, 2}
+	if _, err := AdHoc(3, 2, 1, all, rng.New(1)); err == nil {
+		t.Fatal("accepted empty candidate set")
+	}
+}
+
+func BenchmarkNewPartition(b *testing.B) {
+	s := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_, _ = NewPartition(100, 5, s)
+	}
+}
+
+func BenchmarkSelectPath(b *testing.B) {
+	d, _ := NewPartition(100, 5, rng.New(1))
+	s := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = d.SelectPath(0, 99, 3, s)
+	}
+}
+
+func TestSelectPathSingleGroupNetwork(t *testing.T) {
+	// n == g: one group holds everyone, including both endpoints, so
+	// no eligible relay group exists. Must error, not panic.
+	d, err := NewPartition(6, 6, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SelectPath(0, 5, 1, rng.New(1)); err == nil {
+		t.Fatal("selected a path with no eligible groups")
+	}
+}
+
+func TestSelectPathEndpointsShareGroup(t *testing.T) {
+	// When src and dst share a group, only one group is excluded.
+	d, err := NewPartition(12, 6, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src, dst contact.NodeID = -1, -1
+	members := d.Members(0)
+	src, dst = members[0], members[1]
+	path, err := d.SelectPath(src, dst, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] == d.GroupOf(src) {
+		t.Fatal("path includes the endpoints' group")
+	}
+}

@@ -1,0 +1,103 @@
+package groups
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/contact"
+	"repro/internal/onion"
+)
+
+// Key lifecycle. The paper's protocols assume group keys exist and
+// cites secure key-update schemes as the mechanism for evicting
+// compromised members (Sec. VI-B); this file models that lifecycle:
+// the directory tracks a key epoch, Rekey rotates every group and node
+// key, and revoked nodes are denied the new epoch's keys. Onions built
+// before a rekey cannot be peeled afterwards — senders must rebuild —
+// and a revoked member can no longer peel its group's layers even
+// though it still appears in the membership lists.
+
+// Epoch returns the current key epoch (0 until ProvisionKeys, then
+// incremented by every Rekey).
+func (d *Directory) Epoch() int { return d.epoch }
+
+// IsRevoked reports whether node v has been excluded from the current
+// key epoch.
+func (d *Directory) IsRevoked(v contact.NodeID) bool {
+	return d.revoked[v]
+}
+
+// Revoked returns the number of currently revoked nodes.
+func (d *Directory) Revoked() int { return len(d.revoked) }
+
+// Rekey rotates all group and node keys, starting a new epoch, and
+// additionally revokes the listed nodes: they are denied the new keys
+// until Reinstate. Rekey requires keys to have been provisioned.
+func (d *Directory) Rekey(revoke []contact.NodeID) error {
+	if d.group == nil {
+		return fmt.Errorf("groups: rekey before keys were provisioned")
+	}
+	for _, v := range revoke {
+		if v < 0 || int(v) >= d.n {
+			return fmt.Errorf("groups: cannot revoke unknown node %d", v)
+		}
+	}
+	if err := d.reKey(); err != nil {
+		return fmt.Errorf("groups: rekey: %w", err)
+	}
+	if d.revoked == nil {
+		d.revoked = make(map[contact.NodeID]bool)
+	}
+	for _, v := range revoke {
+		d.revoked[v] = true
+	}
+	d.epoch++
+	return nil
+}
+
+// Reinstate restores a revoked node's access to the CURRENT epoch's
+// keys. (A real deployment would only reinstate together with a fresh
+// Rekey; the directory does not enforce that policy.)
+func (d *Directory) Reinstate(v contact.NodeID) {
+	delete(d.revoked, v)
+}
+
+// MemberCipher returns the layer cipher of group id as held by node v:
+// it enforces both group membership and epoch access. Non-members and
+// revoked members are denied. This is the accessor protocol runtimes
+// should use; GroupCipher is the omniscient view for tests and the
+// source (which may address any group).
+func (d *Directory) MemberCipher(v contact.NodeID, id onion.GroupID) (onion.Cipher, error) {
+	if v < 0 || int(v) >= d.n {
+		return nil, fmt.Errorf("groups: node %d out of range", v)
+	}
+	if d.revoked[v] {
+		return nil, fmt.Errorf("groups: node %d revoked at epoch %d", v, d.epoch)
+	}
+	if !d.Contains(id, v) {
+		return nil, fmt.Errorf("groups: node %d is not a member of group %d", v, id)
+	}
+	if d.groupOpen == nil {
+		return nil, errors.New("groups: keys not provisioned")
+	}
+	c, ok := d.groupOpen[id]
+	if !ok {
+		return nil, fmt.Errorf("groups: no cipher for group %d", id)
+	}
+	return c, nil
+}
+
+// OwnCipher returns node v's OPEN-side destination-layer cipher (the
+// private key in hybrid mode), denied while v is revoked.
+func (d *Directory) OwnCipher(v contact.NodeID) (onion.Cipher, error) {
+	if d.revoked[v] {
+		return nil, fmt.Errorf("groups: node %d revoked at epoch %d", v, d.epoch)
+	}
+	if d.nodeOpen == nil {
+		return nil, errors.New("groups: keys not provisioned")
+	}
+	if v < 0 || int(v) >= d.n {
+		return nil, fmt.Errorf("groups: node %d out of range", v)
+	}
+	return d.nodeOpen[v], nil
+}

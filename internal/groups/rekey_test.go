@@ -1,0 +1,276 @@
+package groups
+
+import (
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/onion"
+	"repro/internal/rng"
+)
+
+func provisioned(t *testing.T) *Directory {
+	t.Helper()
+	d, err := NewPartition(20, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProvisionKeys(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRekeyRotatesKeys(t *testing.T) {
+	d := provisioned(t)
+	if d.Epoch() != 0 {
+		t.Fatalf("epoch = %d", d.Epoch())
+	}
+	member := d.Members(0)[0]
+	oldCipher, err := d.MemberCipher(member, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := oldCipher.Seal([]byte("pre-rekey layer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rekey(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch = %d after rekey", d.Epoch())
+	}
+	newCipher, err := d.MemberCipher(member, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newCipher.Open(ct); err == nil {
+		t.Fatal("new epoch key opened a pre-rekey ciphertext")
+	}
+}
+
+func TestRekeyBeforeProvisionFails(t *testing.T) {
+	d, err := NewPartition(10, 2, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rekey(nil); err == nil {
+		t.Fatal("rekeyed without keys")
+	}
+}
+
+func TestRevocationDeniesKeys(t *testing.T) {
+	d := provisioned(t)
+	victim := d.Members(1)[0]
+	if err := d.Rekey([]contact.NodeID{victim}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsRevoked(victim) || d.Revoked() != 1 {
+		t.Fatal("revocation not recorded")
+	}
+	if _, err := d.MemberCipher(victim, 1); err == nil {
+		t.Fatal("revoked member obtained its group key")
+	}
+	if _, err := d.OwnCipher(victim); err == nil {
+		t.Fatal("revoked member obtained its node key")
+	}
+	// Other members of the same group keep access.
+	for _, m := range d.Members(1) {
+		if m == victim {
+			continue
+		}
+		if _, err := d.MemberCipher(m, 1); err != nil {
+			t.Fatalf("innocent member denied: %v", err)
+		}
+	}
+}
+
+func TestReinstate(t *testing.T) {
+	d := provisioned(t)
+	victim := d.Members(0)[1]
+	if err := d.Rekey([]contact.NodeID{victim}); err != nil {
+		t.Fatal(err)
+	}
+	d.Reinstate(victim)
+	if d.IsRevoked(victim) {
+		t.Fatal("still revoked after reinstate")
+	}
+	if _, err := d.MemberCipher(victim, 0); err != nil {
+		t.Fatalf("reinstated member denied: %v", err)
+	}
+}
+
+func TestMemberCipherEnforcesMembership(t *testing.T) {
+	d := provisioned(t)
+	outsider := d.Members(1)[0] // member of group 1, not group 0
+	if _, err := d.MemberCipher(outsider, 0); err == nil {
+		t.Fatal("non-member obtained a group key")
+	}
+	if _, err := d.MemberCipher(99, 0); err == nil {
+		t.Fatal("unknown node obtained a group key")
+	}
+}
+
+func TestRekeyRejectsUnknownNodes(t *testing.T) {
+	d := provisioned(t)
+	if err := d.Rekey([]contact.NodeID{-1}); err == nil {
+		t.Fatal("revoked a negative node")
+	}
+	if err := d.Rekey([]contact.NodeID{100}); err == nil {
+		t.Fatal("revoked an out-of-range node")
+	}
+}
+
+func TestOnionAcrossRekeyMustBeRebuilt(t *testing.T) {
+	// End-to-end: an onion built in epoch 0 is unpeelable after a
+	// rekey; rebuilding it under the new keys restores routing.
+	d := provisioned(t)
+	src, dst := contact.NodeID(0), contact.NodeID(19)
+	path, err := d.SelectPath(src, dst, 2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() []byte {
+		hops := make([]onion.Hop, len(path))
+		for i, gid := range path {
+			c, err := d.GroupCipher(gid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops[i] = onion.Hop{Group: gid, Cipher: c}
+		}
+		destCipher, err := d.NodeCipher(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := onion.Build(onion.NodeID(dst), []byte("m"), hops, destCipher, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	old := build()
+	if err := d.Rekey(nil); err != nil {
+		t.Fatal(err)
+	}
+	firstMember := d.Members(path[0])[0]
+	c, err := d.MemberCipher(firstMember, path[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := onion.Peel(old, c); err == nil {
+		t.Fatal("stale onion peeled after rekey")
+	}
+	fresh := build()
+	if _, err := onion.Peel(fresh, c); err != nil {
+		t.Fatalf("fresh onion rejected: %v", err)
+	}
+}
+
+func TestProvisionHybridKeysTrustSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA keygen")
+	}
+	d, err := NewPartition(6, 2, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProvisionHybridKeys(1024); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := d.Members(0)[0], d.Members(2)[0]
+	path, err := d.SelectPath(src, dst, 1, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal, err := d.GroupCipher(path[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	destSeal, err := d.NodeCipher(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := onion.Build(onion.NodeID(dst),
+		[]byte("public keys only at the source"),
+		[]onion.Hop{{Group: path[0], Cipher: seal}}, destSeal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seal-side cipher (what the source holds) must NOT peel.
+	if _, err := onion.Peel(data, seal); err == nil {
+		t.Fatal("source's public-key cipher peeled a layer")
+	}
+	// A group member peels with its private key.
+	member := d.Members(path[0])[0]
+	open, err := d.MemberCipher(member, path[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := onion.Peel(data, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destination unwraps with its private key; the seal side cannot.
+	destOpen, err := d.OwnCipher(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := onion.Unwrap(p.Inner, destSeal); err == nil {
+		t.Fatal("public destination key unwrapped the payload")
+	}
+	got, err := onion.Unwrap(p.Inner, destOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "public keys only at the source" {
+		t.Fatalf("payload %q", got)
+	}
+}
+
+func TestProvisionHybridKeysValidation(t *testing.T) {
+	d, err := NewPartition(4, 2, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProvisionHybridKeys(512); err == nil {
+		t.Fatal("accepted 512-bit keys")
+	}
+}
+
+func TestRekeyPreservesHybridMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA keygen")
+	}
+	d, err := NewPartition(4, 2, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProvisionHybridKeys(1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rekey(nil); err != nil {
+		t.Fatal(err)
+	}
+	// After a rekey the directory must still be in hybrid mode: the
+	// seal side cannot open.
+	member := d.Members(0)[0]
+	seal, err := d.GroupCipher(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := d.MemberCipher(member, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := seal.Seal([]byte("post-rekey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seal.Open(ct); err == nil {
+		t.Fatal("seal side opened after rekey: symmetric mode leaked in")
+	}
+	if _, err := open.Open(ct); err != nil {
+		t.Fatalf("member failed to open after rekey: %v", err)
+	}
+}

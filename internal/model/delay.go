@@ -1,0 +1,107 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Delay-side views of the opportunistic onion path model. The paper
+// reports delivery *rate* curves; planners usually want the inverse
+// questions — "how long until p% of messages arrive?" and "what is the
+// expected delay?" — which the hypoexponential structure answers in
+// closed form or by monotone inversion.
+
+// ExpectedDelay returns the mean end-to-end traversal time of an
+// opportunistic onion path: the hypoexponential mean, the sum of
+// per-hop mean inter-contact times 1/lambda_k.
+func ExpectedDelay(rates []float64) (float64, error) {
+	if len(rates) == 0 {
+		return 0, fmt.Errorf("model: no rates")
+	}
+	sum := 0.0
+	for k, r := range rates {
+		if r <= 0 {
+			return 0, fmt.Errorf("model: hop %d has non-positive rate %v", k+1, r)
+		}
+		sum += 1 / r
+	}
+	return sum, nil
+}
+
+// DelayVariance returns the variance of the traversal time: the sum of
+// per-hop exponential variances 1/lambda_k^2.
+func DelayVariance(rates []float64) (float64, error) {
+	if len(rates) == 0 {
+		return 0, fmt.Errorf("model: no rates")
+	}
+	sum := 0.0
+	for k, r := range rates {
+		if r <= 0 {
+			return 0, fmt.Errorf("model: hop %d has non-positive rate %v", k+1, r)
+		}
+		sum += 1 / (r * r)
+	}
+	return sum, nil
+}
+
+// ExpectedDelayMultiCopy returns the mean traversal time with L copies
+// (Eq. 7's rate scaling: every hop's rate multiplies by L).
+func ExpectedDelayMultiCopy(rates []float64, copies int) (float64, error) {
+	if copies < 1 {
+		return 0, fmt.Errorf("model: copies must be >= 1, got %d", copies)
+	}
+	mean, err := ExpectedDelay(rates)
+	if err != nil {
+		return 0, err
+	}
+	return mean / float64(copies), nil
+}
+
+// DeadlineForRate inverts the delivery-rate model: the smallest
+// deadline T such that P_delivery(T) >= target. target must lie in
+// (0, 1); rates must be positive.
+func DeadlineForRate(rates []float64, target float64) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("model: target rate %v outside (0, 1)", target)
+	}
+	mean, err := ExpectedDelay(rates)
+	if err != nil {
+		return 0, err
+	}
+	// Bracket: the CDF is continuous and strictly increasing on
+	// (0, inf). Grow the upper bound geometrically from the mean.
+	lo, hi := 0.0, mean
+	for {
+		v, err := DeliveryRate(rates, hi)
+		if err != nil {
+			return 0, err
+		}
+		if v >= target {
+			break
+		}
+		hi *= 2
+		if hi > mean*1e9 {
+			return 0, fmt.Errorf("model: target %v unreachable", target)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*math.Max(1, hi); i++ {
+		mid := (lo + hi) / 2
+		v, err := DeliveryRate(rates, mid)
+		if err != nil {
+			return 0, err
+		}
+		if v >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// DelayPercentile returns the p-quantile (0 < p < 1) of the traversal
+// time — the deadline by which a fraction p of messages arrive.
+// Identical to DeadlineForRate; provided under the statistical name.
+func DelayPercentile(rates []float64, p float64) (float64, error) {
+	return DeadlineForRate(rates, p)
+}

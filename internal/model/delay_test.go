@@ -1,0 +1,142 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestExpectedDelay(t *testing.T) {
+	got, err := ExpectedDelay([]float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-12 { // 2 + 4
+		t.Fatalf("got %v, want 6", got)
+	}
+	if _, err := ExpectedDelay(nil); err == nil {
+		t.Fatal("accepted empty rates")
+	}
+	if _, err := ExpectedDelay([]float64{1, 0}); err == nil {
+		t.Fatal("accepted zero rate")
+	}
+}
+
+func TestDelayVariance(t *testing.T) {
+	got, err := DelayVariance([]float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 1e-12 { // 4 + 16
+		t.Fatalf("got %v, want 20", got)
+	}
+	if _, err := DelayVariance([]float64{-1}); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+}
+
+func TestExpectedDelayMultiCopy(t *testing.T) {
+	base, err := ExpectedDelay([]float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triple, err := ExpectedDelayMultiCopy([]float64{0.1, 0.2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(triple-base/3) > 1e-12 {
+		t.Fatalf("L=3 delay %v, want %v", triple, base/3)
+	}
+	if _, err := ExpectedDelayMultiCopy([]float64{0.1}, 0); err == nil {
+		t.Fatal("accepted L=0")
+	}
+}
+
+func TestExpectedDelayMatchesMonteCarlo(t *testing.T) {
+	rates := []float64{0.3, 0.7, 1.3}
+	want, err := ExpectedDelay(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for _, r := range rates {
+			sum += s.Exp(r)
+		}
+	}
+	got := sum / n
+	if math.Abs(got-want) > 0.02*want {
+		t.Fatalf("MC mean %v vs model %v", got, want)
+	}
+}
+
+func TestDeadlineForRateInvertsCDF(t *testing.T) {
+	rates := []float64{0.05, 0.11, 0.23, 0.47}
+	for _, target := range []float64{0.1, 0.5, 0.9, 0.99} {
+		d, err := DeadlineForRate(rates, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := DeliveryRate(rates, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-target) > 1e-6 {
+			t.Fatalf("target %v: deadline %v gives rate %v", target, d, v)
+		}
+	}
+}
+
+func TestDeadlineForRateMonotoneInTarget(t *testing.T) {
+	rates := []float64{0.1, 0.2, 0.3}
+	prev := 0.0
+	for _, target := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		d, err := DeadlineForRate(rates, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prev {
+			t.Fatalf("deadline not increasing at target %v", target)
+		}
+		prev = d
+	}
+}
+
+func TestDeadlineForRateValidation(t *testing.T) {
+	if _, err := DeadlineForRate([]float64{1}, 0); err == nil {
+		t.Fatal("accepted target 0")
+	}
+	if _, err := DeadlineForRate([]float64{1}, 1); err == nil {
+		t.Fatal("accepted target 1")
+	}
+	if _, err := DeadlineForRate(nil, 0.5); err == nil {
+		t.Fatal("accepted empty rates")
+	}
+}
+
+func TestDelayPercentileAlias(t *testing.T) {
+	rates := []float64{0.2, 0.4}
+	a, err := DelayPercentile(rates, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeadlineForRate(rates, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("alias mismatch: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkDeadlineForRate(b *testing.B) {
+	rates := []float64{0.05, 0.11, 0.23, 0.47}
+	for i := 0; i < b.N; i++ {
+		if _, err := DeadlineForRate(rates, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ExampleDeliveryRate evaluates Eq. 6 for a 3-group onion path whose
+// per-hop aggregate rates came from Eq. 4.
+func ExampleDeliveryRate() {
+	rates := []float64{0.08, 0.07, 0.09, 0.06} // per minute, eta = K+1 = 4 hops
+	for _, deadline := range []float64{60, 180, 600} {
+		p, err := model.DeliveryRate(rates, deadline)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("P[delivered within %4.0f min] = %.3f\n", deadline, p)
+	}
+	// Output:
+	// P[delivered within   60 min] = 0.641
+	// P[delivered within  180 min] = 0.999
+	// P[delivered within  600 min] = 1.000
+}
+
+// ExamplePathAnonymitySingleCopy evaluates the Eq. 15 + Eq. 19
+// pipeline: expected anonymity of a K=3 path in a 100-node network at
+// increasing compromise levels.
+func ExamplePathAnonymitySingleCopy() {
+	for _, frac := range []float64{0, 0.1, 0.3} {
+		d := model.PathAnonymitySingleCopy(100, 4, 5, frac)
+		fmt.Printf("c/n = %.0f%%: D = %.3f\n", frac*100, d)
+	}
+	// Output:
+	// c/n = 0%: D = 1.000
+	// c/n = 10%: D = 0.945
+	// c/n = 30%: D = 0.834
+}
+
+// ExampleCostMultiCopyBound shows the Sec. IV-C transmission bounds.
+func ExampleCostMultiCopyBound() {
+	const k = 3
+	for _, l := range []int{1, 3, 5} {
+		fmt.Printf("L=%d: onion <= %2d, non-anonymous = %2d\n",
+			l, model.CostMultiCopyBound(k, l), model.CostNonAnonymous(l))
+	}
+	// Output:
+	// L=1: onion <=  4, non-anonymous =  2
+	// L=3: onion <= 14, non-anonymous =  6
+	// L=5: onion <= 24, non-anonymous = 10
+}
+
+// ExampleTraceableRateOfPath reproduces the paper's Sec. II-C example:
+// compromising v1, v2, v4 on the 4-hop path v1 v2 v3 v4 v5 discloses
+// segments of lengths 2 and 1.
+func ExampleTraceableRateOfPath() {
+	bits := []bool{true, true, false, true} // senders v1, v2, v4 compromised
+	fmt.Printf("traceable rate = %.4f\n", model.TraceableRateOfPath(bits))
+	// Output:
+	// traceable rate = 0.3125
+}

@@ -1,0 +1,283 @@
+// Package model implements the paper's analytical contributions
+// (Sec. IV): the opportunistic onion path delivery-rate model
+// (Eqs. 3-7), the message forwarding cost bounds (Sec. IV-C), the
+// traceable-rate model (Eqs. 1, 8-12), and the entropy-based path
+// anonymity (Eqs. 13-20).
+//
+// All functions are pure; per-hop contact rates come from
+// contact.GroupPathRates (Eq. 4) or trace estimation.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/stats"
+)
+
+// ContactProbability returns Eq. 3: the probability that a pair with
+// contact rate lambda meets within deadline T.
+func ContactProbability(lambda, t float64) float64 {
+	if lambda <= 0 || t <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-lambda*t)
+}
+
+// DeliveryRate returns Eq. 6: the probability that a message delivered
+// along an opportunistic onion path with per-hop aggregate rates
+// lambda_k (from Eq. 4) arrives within deadline T. The path traversal
+// time is hypoexponential with those rates.
+func DeliveryRate(rates []float64, t float64) (float64, error) {
+	v, err := numeric.HypoexpCDF(rates, t)
+	if err != nil {
+		return 0, fmt.Errorf("model: delivery rate: %w", err)
+	}
+	return v, nil
+}
+
+// DeliveryRateMultiCopy returns Eq. 7: with L copies in flight the
+// expected per-hop delay divides by L, so every hop rate is multiplied
+// by L.
+func DeliveryRateMultiCopy(rates []float64, copies int, t float64) (float64, error) {
+	if copies < 1 {
+		return 0, fmt.Errorf("model: copies must be >= 1, got %d", copies)
+	}
+	scaled := make([]float64, len(rates))
+	for i, r := range rates {
+		scaled[i] = r * float64(copies)
+	}
+	v, err := numeric.HypoexpCDF(scaled, t)
+	if err != nil {
+		return 0, fmt.Errorf("model: multi-copy delivery rate: %w", err)
+	}
+	return v, nil
+}
+
+// CostSingleCopy returns the transmission count of single-copy onion
+// routing: exactly K+1 forwardings (Sec. IV-C).
+func CostSingleCopy(k int) int {
+	if k < 1 {
+		panic("model: K must be >= 1")
+	}
+	return k + 1
+}
+
+// CostMultiCopyBound returns the paper's transmission bound for L-copy
+// forwarding: at most 1 + 2(L-1) transmissions on the first hop (one
+// copy straight into R_1, L-1 copies sprayed to arbitrary relays that
+// each forward into R_1) plus at most K*L transmissions from the second
+// hop on — i.e. 2L - 1 + K*L <= (K+2)L (Sec. IV-C).
+func CostMultiCopyBound(k, copies int) int {
+	if k < 1 || copies < 1 {
+		panic("model: K and L must be >= 1")
+	}
+	return 2*copies - 1 + k*copies
+}
+
+// CostNonAnonymous returns the paper's non-anonymous baseline: a
+// routing protocol unconstrained by onions spends 2L transmissions for
+// L copies (Sec. IV-C).
+func CostNonAnonymous(copies int) int {
+	if copies < 1 {
+		panic("model: L must be >= 1")
+	}
+	return 2 * copies
+}
+
+// TraceableRateOfPath evaluates Eq. 1 on a realized path: bits[i] is
+// true when the sender of hop i+1 is compromised (so the link it sends
+// over is disclosed). The traceable rate is the sum over compromised
+// segments of squared segment length, divided by eta^2.
+func TraceableRateOfPath(bits []bool) float64 {
+	eta := len(bits)
+	if eta == 0 {
+		return 0
+	}
+	return float64(stats.SumSquaredTrueRuns(bits)) / float64(eta*eta)
+}
+
+// TraceableRate returns the expected traceable rate (Eq. 12) of an
+// eta-hop path when each hop's sender is independently compromised
+// with probability p = c/n. This is the exact expectation of Eq. 1
+// over Bernoulli bit strings, computed from the closed-form expected
+// number of compromised segments of each length:
+//
+//	E[#runs of length k] = (eta-k-1) p^k (1-p)^2 + 2 p^k (1-p)   (k < eta)
+//	E[#runs of length eta] = p^eta
+//
+// It reduces the problem to run lengths exactly as the paper's
+// derivation does, without the small-c truncation of Eqs. 8-11 (see
+// TraceableRatePaperApprox for that variant).
+func TraceableRate(eta int, p float64) float64 {
+	if eta <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	total := 0.0
+	for k := 1; k < eta; k++ {
+		pk := math.Pow(p, float64(k))
+		runs := float64(eta-k-1)*pk*(1-p)*(1-p) + 2*pk*(1-p)
+		total += float64(k*k) * runs
+	}
+	total += float64(eta*eta) * math.Pow(p, float64(eta))
+	return numeric.Clamp01(total / float64(eta*eta))
+}
+
+// TraceableRatePaperApprox is the literal small-c approximation of
+// Eqs. 8-12: at most eta/2 compromised segments, each with second
+// moment E[X^2] = sum_k k^2 p^k (1-p) truncated at the remaining hops.
+func TraceableRatePaperApprox(eta int, p float64) float64 {
+	if eta <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	segments := (eta + 1) / 2
+	total := 0.0
+	for i := 1; i <= segments; i++ {
+		limit := eta - i + 1
+		e2 := 0.0
+		for k := 1; k <= limit; k++ {
+			e2 += float64(k*k) * math.Pow(p, float64(k)) * (1 - p)
+		}
+		total += e2
+	}
+	return numeric.Clamp01(total / float64(eta*eta))
+}
+
+// MaxEntropy returns Eq. 14: the entropy (bits) of the anonymous set
+// of all acyclic eta-hop paths over n nodes, log2(n!/(n-eta)!).
+func MaxEntropy(n, eta int) float64 {
+	if eta < 1 || n < eta {
+		panic(fmt.Sprintf("model: MaxEntropy requires 1 <= eta <= n, got eta=%d n=%d", eta, n))
+	}
+	return numeric.LogFallingFactorial(n, eta) / math.Ln2
+}
+
+// PathEntropy returns Eq. 17: the residual entropy when cO of the
+// path's hops are compromised. An uncompromised hop leaves ~n
+// candidate next routers; a compromised hop confines the next router
+// to its onion group of size g (Eq. 16), so the anonymous set has
+// n!/(n-eta+cO)! * g^cO members:
+//
+//	H = log2( n! * g^cO / (n - eta + cO)! )
+//
+// cO may be fractional (it is an expectation); the factorial is
+// interpolated through the gamma function.
+func PathEntropy(n, eta, g int, cO float64) float64 {
+	if eta < 1 || n < eta {
+		panic(fmt.Sprintf("model: PathEntropy requires 1 <= eta <= n, got eta=%d n=%d", eta, n))
+	}
+	if g < 1 {
+		panic("model: group size must be >= 1")
+	}
+	cO = math.Max(0, math.Min(float64(eta), cO))
+	lgNum, _ := math.Lgamma(float64(n) + 1)
+	lgDen, _ := math.Lgamma(float64(n-eta) + cO + 1)
+	h := (lgNum - lgDen + cO*math.Log(float64(g))) / math.Ln2
+	return math.Max(0, h)
+}
+
+// PathAnonymityExact returns D = H(phi')/H_max using the exact
+// factorial forms of Eqs. 14 and 17.
+func PathAnonymityExact(n, eta, g int, cO float64) float64 {
+	hm := MaxEntropy(n, eta)
+	if hm == 0 {
+		return 0
+	}
+	return numeric.Clamp01(PathEntropy(n, eta, g, cO) / hm)
+}
+
+// PathAnonymity returns Eq. 19, the paper's Stirling approximation of
+// the anonymity degree:
+//
+//	D = ((eta - cO)(ln n - 1) + cO ln g) / (eta (ln n - 1))
+//
+// valid for n >> K (the paper's standing assumption).
+func PathAnonymity(n, eta, g int, cO float64) float64 {
+	if eta < 1 || n < 3 {
+		panic(fmt.Sprintf("model: PathAnonymity requires eta >= 1 and n >= 3, got eta=%d n=%d", eta, n))
+	}
+	if g < 1 {
+		panic("model: group size must be >= 1")
+	}
+	cO = math.Max(0, math.Min(float64(eta), cO))
+	lnN1 := math.Log(float64(n)) - 1
+	d := ((float64(eta)-cO)*lnN1 + cO*math.Log(float64(g))) / (float64(eta) * lnN1)
+	return numeric.Clamp01(d)
+}
+
+// ExpectedCompromisedOnPath returns Eq. 15: E[Y], the expected number
+// of compromised hops on an eta-hop path when each on-path node is
+// compromised with probability p = c/n. (The binomial mean eta*p,
+// computed as the paper's explicit sum.)
+func ExpectedCompromisedOnPath(eta int, p float64) float64 {
+	if eta < 0 {
+		panic("model: eta must be >= 0")
+	}
+	e := 0.0
+	for i := 0; i <= eta; i++ {
+		e += float64(i) * numeric.BinomialPMF(eta, i, p)
+	}
+	return e
+}
+
+// ExpectedCompromisedGroupsMultiCopy returns Eq. 20: E[Y'], the
+// expected number of hop positions at which at least one of the L
+// per-copy relays is compromised. Each position is compromised with
+// probability 1 - (1-p)^L.
+func ExpectedCompromisedGroupsMultiCopy(eta int, p float64, copies int) float64 {
+	if copies < 1 {
+		panic("model: L must be >= 1")
+	}
+	q := 1 - math.Pow(1-clampProb(p), float64(copies))
+	e := 0.0
+	for i := 0; i <= eta; i++ {
+		e += float64(i) * numeric.BinomialPMF(eta, i, q)
+	}
+	return e
+}
+
+// PathAnonymitySingleCopy composes Eqs. 15 and 19: the expected
+// anonymity degree for single-copy forwarding with compromise
+// probability p = c/n.
+func PathAnonymitySingleCopy(n, eta, g int, p float64) float64 {
+	cO := ExpectedCompromisedOnPath(eta, clampProb(p))
+	return PathAnonymity(n, eta, g, cO)
+}
+
+// PathAnonymityMultiCopy composes Eqs. 20 and 19: the expected
+// anonymity degree for L-copy forwarding (Sec. IV-F).
+func PathAnonymityMultiCopy(n, eta, g int, p float64, copies int) float64 {
+	cO := ExpectedCompromisedGroupsMultiCopy(eta, clampProb(p), copies)
+	return PathAnonymity(n, eta, g, cO)
+}
+
+// PathAnonymityMultiCopyExact composes Eq. 20 with the exact entropy
+// ratio of Eqs. 14/17. Use this instead of the Stirling form when the
+// n >> K premise of Eq. 19 fails — e.g. the Cambridge trace (n = 12,
+// g = 10), where Eq. 19's (ln n - 1) denominator would make anonymity
+// *increase* with compromise.
+func PathAnonymityMultiCopyExact(n, eta, g int, p float64, copies int) float64 {
+	cO := ExpectedCompromisedGroupsMultiCopy(eta, clampProb(p), copies)
+	return PathAnonymityExact(n, eta, g, cO)
+}
+
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

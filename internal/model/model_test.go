@@ -1,0 +1,386 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestContactProbability(t *testing.T) {
+	if ContactProbability(0, 10) != 0 || ContactProbability(1, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+	got := ContactProbability(0.5, 2)
+	want := 1 - math.Exp(-1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if p := ContactProbability(10, 1000); p <= 0.999999 {
+		t.Fatalf("long deadline should saturate, got %v", p)
+	}
+}
+
+func TestDeliveryRateIncreasesWithDeadline(t *testing.T) {
+	rates := []float64{0.1, 0.25, 0.4, 0.8}
+	prev := 0.0
+	for _, tt := range []float64{1, 5, 10, 50, 200} {
+		v, err := DeliveryRate(rates, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("delivery rate decreased at T=%v", tt)
+		}
+		prev = v
+	}
+	if prev < 0.99 {
+		t.Fatalf("delivery rate did not saturate: %v", prev)
+	}
+}
+
+func TestDeliveryRateMultiCopyDominates(t *testing.T) {
+	rates := []float64{0.05, 0.07, 0.09, 0.11}
+	for _, tt := range []float64{5, 20, 60} {
+		single, err := DeliveryRate(rates, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := single
+		for _, l := range []int{2, 3, 5} {
+			multi, err := DeliveryRateMultiCopy(rates, l, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if multi < prev-1e-9 {
+				t.Fatalf("L=%d T=%v: delivery %v below L-1 value %v", l, tt, multi, prev)
+			}
+			prev = multi
+		}
+	}
+}
+
+func TestDeliveryRateMultiCopyLOneEqualsSingle(t *testing.T) {
+	rates := []float64{0.05, 0.07, 0.09}
+	a, err := DeliveryRate(rates, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeliveryRateMultiCopy(rates, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("L=1 differs from single copy: %v vs %v", a, b)
+	}
+}
+
+func TestDeliveryRateMultiCopyValidation(t *testing.T) {
+	if _, err := DeliveryRateMultiCopy([]float64{1}, 0, 1); err == nil {
+		t.Fatal("accepted L=0")
+	}
+	if _, err := DeliveryRate(nil, 1); err == nil {
+		t.Fatal("accepted empty rates")
+	}
+}
+
+func TestCostFormulas(t *testing.T) {
+	if CostSingleCopy(3) != 4 {
+		t.Fatalf("CostSingleCopy(3) = %d", CostSingleCopy(3))
+	}
+	// L=1 multi-copy degenerates to single copy: 2*1-1+K = K+1.
+	if CostMultiCopyBound(3, 1) != CostSingleCopy(3) {
+		t.Fatalf("bound at L=1 is %d, want %d", CostMultiCopyBound(3, 1), CostSingleCopy(3))
+	}
+	// 2L-1+KL for K=3, L=5: 9+15 = 24 <= (K+2)L = 25.
+	if CostMultiCopyBound(3, 5) != 24 {
+		t.Fatalf("bound = %d", CostMultiCopyBound(3, 5))
+	}
+	if CostMultiCopyBound(3, 5) > (3+2)*5 {
+		t.Fatal("tight bound exceeds the paper's (K+2)L")
+	}
+	if CostNonAnonymous(4) != 8 {
+		t.Fatalf("non-anonymous cost = %d", CostNonAnonymous(4))
+	}
+}
+
+func TestCostPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { CostSingleCopy(0) },
+		func() { CostMultiCopyBound(0, 1) },
+		func() { CostMultiCopyBound(1, 0) },
+		func() { CostNonAnonymous(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTraceableRateOfPathPaperExamples(t *testing.T) {
+	// Sec. II-C: v1, v2, v4 compromised on a 4-hop path -> (2^2+1)/16.
+	got := TraceableRateOfPath([]bool{true, true, false, true})
+	if math.Abs(got-5.0/16.0) > 1e-12 {
+		t.Fatalf("got %v want %v", got, 5.0/16.0)
+	}
+	// v2, v3, v4 compromised -> 3^2/16.
+	got = TraceableRateOfPath([]bool{false, true, true, true})
+	if math.Abs(got-9.0/16.0) > 1e-12 {
+		t.Fatalf("got %v want %v", got, 9.0/16.0)
+	}
+	if TraceableRateOfPath(nil) != 0 {
+		t.Fatal("empty path should have zero traceable rate")
+	}
+}
+
+func TestTraceableRateEdges(t *testing.T) {
+	if TraceableRate(4, 0) != 0 {
+		t.Fatal("p=0 should give 0")
+	}
+	if TraceableRate(4, 1) != 1 {
+		t.Fatal("p=1 should give 1 (entire path disclosed)")
+	}
+	if TraceableRate(0, 0.5) != 0 {
+		t.Fatal("eta=0 should give 0")
+	}
+}
+
+func TestTraceableRateMatchesMonteCarlo(t *testing.T) {
+	s := rng.New(77)
+	for _, eta := range []int{4, 6, 11} {
+		for _, p := range []float64{0.05, 0.1, 0.3, 0.5} {
+			const trials = 200000
+			sum := 0.0
+			bits := make([]bool, eta)
+			for i := 0; i < trials; i++ {
+				for k := range bits {
+					bits[k] = s.Bernoulli(p)
+				}
+				sum += TraceableRateOfPath(bits)
+			}
+			emp := sum / trials
+			got := TraceableRate(eta, p)
+			if math.Abs(got-emp) > 0.005 {
+				t.Fatalf("eta=%d p=%v: model %v vs Monte Carlo %v", eta, p, got, emp)
+			}
+		}
+	}
+}
+
+func TestTraceableRateMonotone(t *testing.T) {
+	f := func(rawEta, rawP uint8) bool {
+		eta := int(rawEta%10) + 2
+		p1 := float64(rawP%50) / 100
+		p2 := p1 + 0.1
+		return TraceableRate(eta, p2) >= TraceableRate(eta, p1)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceableRateDecreasesWithMoreRelays(t *testing.T) {
+	// Fig. 7: more onion routers -> smaller traceable portion.
+	p := 0.2
+	prev := 1.0
+	for _, k := range []int{1, 3, 5, 10} {
+		v := TraceableRate(k+1, p)
+		if v > prev+1e-12 {
+			t.Fatalf("traceable rate rose from %v to %v at K=%d", prev, v, k)
+		}
+		prev = v
+	}
+}
+
+func TestTraceableRatePaperApproxCloseForSmallP(t *testing.T) {
+	// The paper's approximation assumes c << n; within that regime it
+	// should track the exact expectation within a small absolute gap.
+	for _, eta := range []int{4, 6, 11} {
+		for _, p := range []float64{0.01, 0.05, 0.1} {
+			exact := TraceableRate(eta, p)
+			approx := TraceableRatePaperApprox(eta, p)
+			if math.Abs(exact-approx) > 0.05 {
+				t.Fatalf("eta=%d p=%v: exact %v vs paper approx %v", eta, p, exact, approx)
+			}
+		}
+	}
+}
+
+func TestMaxEntropy(t *testing.T) {
+	// n=4, eta=2: 12 ordered paths -> log2(12).
+	got := MaxEntropy(4, 2)
+	if math.Abs(got-math.Log2(12)) > 1e-9 {
+		t.Fatalf("got %v want %v", got, math.Log2(12))
+	}
+}
+
+func TestPathEntropyNoCompromiseEqualsMax(t *testing.T) {
+	for _, n := range []int{50, 100} {
+		for _, eta := range []int{3, 4, 6} {
+			if math.Abs(PathEntropy(n, eta, 5, 0)-MaxEntropy(n, eta)) > 1e-9 {
+				t.Fatalf("n=%d eta=%d: H(0) != Hmax", n, eta)
+			}
+		}
+	}
+}
+
+func TestPathAnonymityBounds(t *testing.T) {
+	f := func(rawC, rawG uint8) bool {
+		n, eta := 100, 4
+		g := int(rawG%20) + 1
+		cO := float64(rawC%5) * 0.9
+		d := PathAnonymity(n, eta, g, cO)
+		e := PathAnonymityExact(n, eta, g, cO)
+		return d >= 0 && d <= 1 && e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathAnonymityFullWhenNoCompromise(t *testing.T) {
+	if d := PathAnonymity(100, 4, 5, 0); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("D(cO=0) = %v, want 1", d)
+	}
+	if d := PathAnonymityExact(100, 4, 5, 0); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("exact D(cO=0) = %v, want 1", d)
+	}
+}
+
+func TestPathAnonymityDecreasesWithCompromise(t *testing.T) {
+	prev := 2.0
+	for _, cO := range []float64{0, 1, 2, 3, 4} {
+		d := PathAnonymity(100, 4, 5, cO)
+		if d > prev {
+			t.Fatalf("anonymity rose at cO=%v", cO)
+		}
+		prev = d
+	}
+}
+
+func TestPathAnonymityIncreasesWithGroupSize(t *testing.T) {
+	// Fig. 9: larger groups -> higher anonymity.
+	prev := -1.0
+	for _, g := range []int{1, 2, 5, 10, 20} {
+		d := PathAnonymity(100, 4, g, 2)
+		if d < prev {
+			t.Fatalf("anonymity fell at g=%d", g)
+		}
+		prev = d
+	}
+}
+
+func TestPathAnonymityGroupOfOne(t *testing.T) {
+	// g=1: a compromised hop is fully identified; D = (eta-cO)/eta.
+	for _, cO := range []float64{0, 1, 2, 4} {
+		d := PathAnonymity(100, 4, 1, cO)
+		want := (4 - cO) / 4
+		if math.Abs(d-want) > 1e-12 {
+			t.Fatalf("g=1 cO=%v: D=%v want %v", cO, d, want)
+		}
+	}
+}
+
+func TestStirlingApproxTracksExact(t *testing.T) {
+	// In the paper's validity regime (c << n, so cO well below eta) the
+	// Stirling form of Eq. 19 must be close to the exact factorial
+	// ratio.
+	for _, g := range []int{1, 5, 10} {
+		for _, cO := range []float64{0, 0.5, 1, 2} {
+			exact := PathAnonymityExact(1000, 4, g, cO)
+			approx := PathAnonymity(1000, 4, g, cO)
+			if math.Abs(exact-approx) > 0.05 {
+				t.Fatalf("g=%d cO=%v: exact %v vs Stirling %v", g, cO, exact, approx)
+			}
+		}
+	}
+}
+
+func TestStirlingApproxGapShrinksWithN(t *testing.T) {
+	// The (ln n - 1) artifact of the crude Stirling approximation
+	// vanishes as n grows.
+	gap := func(n int) float64 {
+		return math.Abs(PathAnonymityExact(n, 4, 10, 4) - PathAnonymity(n, 4, 10, 4))
+	}
+	if !(gap(100000) < gap(1000)) {
+		t.Fatalf("gap did not shrink: %v vs %v", gap(100000), gap(1000))
+	}
+}
+
+func TestExpectedCompromisedOnPathIsBinomialMean(t *testing.T) {
+	for _, eta := range []int{1, 4, 9} {
+		for _, p := range []float64{0, 0.1, 0.5, 1} {
+			got := ExpectedCompromisedOnPath(eta, p)
+			if math.Abs(got-float64(eta)*p) > 1e-9 {
+				t.Fatalf("eta=%d p=%v: got %v want %v", eta, p, got, float64(eta)*p)
+			}
+		}
+	}
+}
+
+func TestExpectedCompromisedGroupsMultiCopy(t *testing.T) {
+	// Eq. 20's mean is eta * (1 - (1-p)^L).
+	eta, p, l := 4, 0.1, 3
+	got := ExpectedCompromisedGroupsMultiCopy(eta, p, l)
+	want := float64(eta) * (1 - math.Pow(1-p, float64(l)))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// L=1 must agree with the single-copy expectation.
+	a := ExpectedCompromisedGroupsMultiCopy(eta, p, 1)
+	b := ExpectedCompromisedOnPath(eta, p)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("L=1 mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestMultiCopyAnonymityBelowSingleCopy(t *testing.T) {
+	// Fig. 12: more copies -> lower anonymity.
+	n, eta, g := 100, 4, 5
+	for _, p := range []float64{0.05, 0.1, 0.3} {
+		prev := 2.0
+		for _, l := range []int{1, 3, 5} {
+			d := PathAnonymityMultiCopy(n, eta, g, p, l)
+			if d > prev+1e-12 {
+				t.Fatalf("p=%v: anonymity rose from L-1 to L=%d", p, l)
+			}
+			prev = d
+		}
+	}
+	single := PathAnonymitySingleCopy(n, eta, g, 0.1)
+	multi1 := PathAnonymityMultiCopy(n, eta, g, 0.1, 1)
+	if math.Abs(single-multi1) > 1e-12 {
+		t.Fatalf("single vs L=1: %v vs %v", single, multi1)
+	}
+}
+
+func TestClampProb(t *testing.T) {
+	if clampProb(-1) != 0 || clampProb(2) != 1 || clampProb(0.4) != 0.4 {
+		t.Fatal("clampProb broken")
+	}
+}
+
+func BenchmarkDeliveryRate(b *testing.B) {
+	rates := []float64{0.11, 0.13, 0.17, 0.19}
+	for i := 0; i < b.N; i++ {
+		_, _ = DeliveryRate(rates, 600)
+	}
+}
+
+func BenchmarkTraceableRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = TraceableRate(11, 0.2)
+	}
+}
+
+func BenchmarkPathAnonymity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = PathAnonymityMultiCopy(100, 4, 5, 0.1, 3)
+	}
+}

@@ -1,0 +1,256 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/contact"
+	"repro/internal/groups"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// maybeCorrupt and the carried/bundle conversions live in wire.go.
+
+// Config configures a runtime network.
+type Config struct {
+	Nodes     int
+	GroupSize int
+	Seed      uint64
+	// Spray enables source spray-and-wait hand-offs: a holder with
+	// spare tickets may give a copy to any node, which carries the
+	// ciphertext until it meets a member of the addressed group.
+	Spray bool
+	// CorruptProb injects transport faults: each hand-off is corrupted
+	// (one flipped byte) with this probability. Authenticated
+	// encryption makes receivers reject corrupt onions; the sender
+	// keeps custody and retries at a later contact.
+	CorruptProb float64
+	// BufferLimit caps each node's custody buffer (0 = unlimited).
+	// A full node refuses new custody — the sender retries with other
+	// peers — but final deliveries are always accepted.
+	BufferLimit int
+	// AntiPackets enables delivery acknowledgements ("immunity" in the
+	// epidemic-routing literature): destinations gossip the IDs of
+	// delivered messages at every contact, and custodians purge stale
+	// copies, freeing buffers that multi-copy forwarding would
+	// otherwise occupy forever.
+	AntiPackets bool
+}
+
+// Network owns the nodes, the shared group directory, and the
+// fault-injection state. Meet is safe for concurrent use.
+type Network struct {
+	cfg   Config
+	dir   *groups.Directory
+	nodes []*Node
+
+	mu    sync.Mutex // guards faults
+	fault *rng.Stream
+}
+
+// NewNetwork provisions n nodes, a random onion-group partition of
+// size g, and all group and node keys.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Nodes < 3 {
+		return nil, fmt.Errorf("node: need at least 3 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.CorruptProb < 0 || cfg.CorruptProb > 1 {
+		return nil, fmt.Errorf("node: corrupt probability %v out of [0,1]", cfg.CorruptProb)
+	}
+	if cfg.BufferLimit < 0 {
+		return nil, fmt.Errorf("node: negative buffer limit %d", cfg.BufferLimit)
+	}
+	root := rng.New(cfg.Seed)
+	dir, err := groups.NewPartition(cfg.Nodes, cfg.GroupSize, root.Split("partition"))
+	if err != nil {
+		return nil, err
+	}
+	if err := dir.ProvisionKeys(); err != nil {
+		return nil, err
+	}
+	nw := &Network{cfg: cfg, dir: dir, fault: root.Split("faults")}
+	nw.nodes = make([]*Node, cfg.Nodes)
+	for i := range nw.nodes {
+		nw.nodes[i] = newNode(contact.NodeID(i), dir, cfg.BufferLimit)
+	}
+	return nw, nil
+}
+
+// Node returns the node with the given ID.
+func (nw *Network) Node(id contact.NodeID) *Node {
+	if id < 0 || int(id) >= len(nw.nodes) {
+		panic(fmt.Sprintf("node: id %d out of range", id))
+	}
+	return nw.nodes[id]
+}
+
+// Directory returns the shared onion-group directory.
+func (nw *Network) Directory() *groups.Directory { return nw.dir }
+
+// MeetReport summarizes one contact.
+type MeetReport struct {
+	Transfers  int // onions that changed custody
+	Deliveries int // payloads that reached their destination
+	Rejected   int // hand-offs rejected (tampering)
+}
+
+// Meet executes a contact between nodes x and y at the given time:
+// expired onions are dropped, then each side hands over every onion
+// the peer is eligible for. Both nodes are locked in ID order for the
+// whole exchange, so concurrent Meets never double-spend a ticket.
+func (nw *Network) Meet(x, y contact.NodeID, now float64) MeetReport {
+	if x == y {
+		return MeetReport{}
+	}
+	a, b := nw.Node(x), nw.Node(y)
+	first, second := a, b
+	if second.id < first.id {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
+	a.expireLocked(now)
+	b.expireLocked(now)
+	if nw.cfg.AntiPackets {
+		exchangeAcksLocked(a, b)
+	}
+
+	var rep MeetReport
+	nw.exchangeLocked(a, b, &rep)
+	nw.exchangeLocked(b, a, &rep)
+	return rep
+}
+
+// exchangeAcksLocked merges both parties' acknowledgement sets and
+// purges any buffered copy of an already-delivered message. Both locks
+// are held.
+func exchangeAcksLocked(a, b *Node) {
+	for id := range a.acks {
+		b.learnAckLocked(id)
+	}
+	for id := range b.acks {
+		a.learnAckLocked(id)
+	}
+}
+
+// exchangeLocked hands over every eligible onion from sender to
+// receiver as a marshaled Bundle-layer frame — the receiver re-parses
+// and re-validates everything it is given. Both locks are held.
+func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport) {
+	for id, c := range sender.buffer {
+		if receiver.seen[id] {
+			continue
+		}
+		eligible := false
+		switch {
+		case c.lastHop:
+			eligible = c.deliverTo == receiver.id
+		case nw.dir.Contains(c.group, receiver.id):
+			eligible = true
+		case nw.cfg.Spray && c.tickets >= 2:
+			eligible = true
+		}
+		if !eligible {
+			continue
+		}
+		frame, err := c.toBundle().Marshal()
+		if err != nil {
+			// A carried onion that cannot be framed is a programming
+			// error; surface it loudly rather than silently dropping.
+			panic(fmt.Sprintf("node: marshal custody of %s: %v", id, err))
+		}
+		incoming, err := receiveFrame(nw.maybeCorrupt(frame))
+		if err != nil {
+			// Frame damaged in transit: the receiver never saw a valid
+			// bundle; the sender keeps custody and retries later.
+			receiver.stats.Rejected++
+			rep.Rejected++
+			continue
+		}
+		if err := receiver.acceptLocked(incoming); err != nil {
+			rep.Rejected++
+			continue
+		}
+		sender.stats.Forwarded++
+		rep.Transfers++
+		if incoming.lastHop {
+			rep.Deliveries++
+		}
+		c.tickets--
+		if c.tickets <= 0 {
+			delete(sender.buffer, id)
+		}
+	}
+}
+
+// maybeCorrupt returns the data, flipping one byte with the configured
+// probability (always on a copy).
+func (nw *Network) maybeCorrupt(data []byte) []byte {
+	if nw.cfg.CorruptProb <= 0 || len(data) == 0 {
+		return data
+	}
+	nw.mu.Lock()
+	hit := nw.fault.Bernoulli(nw.cfg.CorruptProb)
+	var pos int
+	if hit {
+		pos = nw.fault.IntN(len(data))
+	}
+	nw.mu.Unlock()
+	if !hit {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	out[pos] ^= 0x01
+	return out
+}
+
+// TotalStats aggregates all node counters.
+func (nw *Network) TotalStats() Stats {
+	var total Stats
+	for _, n := range nw.nodes {
+		s := n.Stats()
+		total.Sent += s.Sent
+		total.Forwarded += s.Forwarded
+		total.Carried += s.Carried
+		total.Delivered += s.Delivered
+		total.Rejected += s.Rejected
+		total.Refused += s.Refused
+		total.Expired += s.Expired
+		total.Purged += s.Purged
+	}
+	return total
+}
+
+// contactDriver adapts the network to the sim.Protocol interface so
+// synthetic engines and trace replay can drive real nodes.
+type contactDriver struct {
+	nw   *Network
+	done func() bool
+}
+
+func (d contactDriver) OnContact(t float64, a, b contact.NodeID) { d.nw.Meet(a, b, t) }
+
+func (d contactDriver) Done() bool {
+	if d.done == nil {
+		return false
+	}
+	return d.done()
+}
+
+// DriveSynthetic runs the network over a synthetic contact process
+// until the horizon or until done() reports true. It returns the
+// number of contacts executed.
+func (nw *Network) DriveSynthetic(g *contact.Graph, horizon float64, s *rng.Stream, done func() bool) int {
+	return sim.RunSynthetic(g, horizon, s, contactDriver{nw: nw, done: done})
+}
+
+// DriveTrace replays a recorded trace window over the network. It
+// returns the number of contacts executed.
+func (nw *Network) DriveTrace(tr *trace.Trace, from, horizon float64, done func() bool) int {
+	return sim.Replay(tr, from, horizon, contactDriver{nw: nw, done: done})
+}

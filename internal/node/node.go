@@ -1,0 +1,287 @@
+// Package node is the message-level runtime of the system: concurrent
+// DTN nodes that carry, hand off, peel, and deliver *real* encrypted
+// onions (package onion) according to the abstract protocol, driven by
+// any contact schedule (synthetic engine or trace replay).
+//
+// Where package routing simulates the protocol's forwarding decisions
+// in the abstract (for the paper's large-scale experiments), this
+// package executes them end to end: every hand-off moves ciphertext,
+// every relay peels its layer with its group key, tampering is
+// detected and rejected, and only the destination recovers the
+// payload. The examples build on this runtime.
+package node
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/contact"
+	"repro/internal/groups"
+	"repro/internal/onion"
+	"repro/internal/rng"
+)
+
+// Stats counts a node's observable activity.
+type Stats struct {
+	Sent      int // messages originated
+	Forwarded int // onions handed to a next hop
+	Carried   int // onions accepted into the buffer
+	Delivered int // payloads received as final destination
+	Rejected  int // transfers rejected (tamper, unknown layer)
+	Refused   int // transfers refused (buffer full)
+	Expired   int // onions dropped at their deadline
+	Purged    int // onions dropped after a delivery acknowledgement
+}
+
+// carried is one onion in a node's buffer.
+type carried struct {
+	id string
+	// data is the ciphertext this node holds. For a relay hop it is
+	// the layer addressed to group; for the final hop it is the inner
+	// body sealed for deliverTo.
+	data      []byte
+	group     onion.GroupID
+	deliverTo contact.NodeID
+	lastHop   bool
+	tickets   int
+	expiry    float64
+}
+
+// Node is a single DTN participant. All methods are safe for
+// concurrent use.
+type Node struct {
+	id          contact.NodeID
+	dir         *groups.Directory
+	bufferLimit int // 0 = unlimited
+
+	mu        sync.Mutex
+	buffer    map[string]*carried
+	delivered map[string][]byte
+	seen      map[string]bool // message IDs ever carried or delivered
+	acks      map[string]bool // delivered-message IDs known to this node
+	stats     Stats
+}
+
+// newNode builds a node bound to the shared group directory.
+func newNode(id contact.NodeID, dir *groups.Directory, bufferLimit int) *Node {
+	return &Node{
+		id:          id,
+		dir:         dir,
+		bufferLimit: bufferLimit,
+		buffer:      make(map[string]*carried),
+		delivered:   make(map[string][]byte),
+		seen:        make(map[string]bool),
+		acks:        make(map[string]bool),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() contact.NodeID { return n.id }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// BufferLen returns the number of onions in custody.
+func (n *Node) BufferLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.buffer)
+}
+
+// Delivered returns the payload of a message delivered to this node,
+// if any.
+func (n *Node) Delivered(msgID string) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.delivered[msgID]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), p...), true
+}
+
+// DeliveredCount returns how many distinct messages reached this node
+// as their final destination.
+func (n *Node) DeliveredCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.delivered)
+}
+
+// SendSpec configures an originated message.
+type SendSpec struct {
+	Dst     contact.NodeID
+	Payload []byte
+	Relays  int     // K onion groups
+	Copies  int     // L tickets
+	Expiry  float64 // absolute deadline; 0 = never expires
+	PadTo   int     // onion padding target; 0 = no padding
+}
+
+// Send builds an onion for the destination through Relays onion groups
+// and places it in this node's buffer. It returns the message ID used
+// to query delivery at the destination.
+func (n *Node) Send(spec SendSpec, pathStream *rng.Stream) (string, error) {
+	if spec.Copies < 1 {
+		return "", fmt.Errorf("node: copies must be >= 1, got %d", spec.Copies)
+	}
+	ids, err := n.dir.SelectPath(n.id, spec.Dst, spec.Relays, pathStream)
+	if err != nil {
+		return "", fmt.Errorf("node: select path: %w", err)
+	}
+	hops := make([]onion.Hop, len(ids))
+	for i, gid := range ids {
+		c, err := n.dir.GroupCipher(gid)
+		if err != nil {
+			return "", fmt.Errorf("node: hop %d: %w", i, err)
+		}
+		hops[i] = onion.Hop{Group: gid, Cipher: c}
+	}
+	destCipher, err := n.dir.NodeCipher(spec.Dst)
+	if err != nil {
+		return "", fmt.Errorf("node: destination cipher: %w", err)
+	}
+	data, err := onion.Build(onion.NodeID(spec.Dst), spec.Payload, hops, destCipher, spec.PadTo)
+	if err != nil {
+		return "", fmt.Errorf("node: build onion: %w", err)
+	}
+	msgID, err := newMessageID()
+	if err != nil {
+		return "", err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.buffer[msgID] = &carried{
+		id:      msgID,
+		data:    data,
+		group:   ids[0],
+		tickets: spec.Copies,
+		expiry:  spec.Expiry,
+	}
+	n.seen[msgID] = true
+	n.stats.Sent++
+	return msgID, nil
+}
+
+func newMessageID() (string, error) {
+	var raw [16]byte
+	if _, err := io.ReadFull(rand.Reader, raw[:]); err != nil {
+		return "", fmt.Errorf("node: message id: %w", err)
+	}
+	return hex.EncodeToString(raw[:]), nil
+}
+
+// errTransfer classifies a rejected hand-off: the sender keeps custody.
+var errTransfer = errors.New("node: transfer rejected")
+
+// acceptLocked ingests an onion handed over by a peer. The caller
+// holds n.mu (Network.Meet locks both parties in ID order). The node
+// peels the layer if it is a member of the addressed group, unwraps
+// the payload if it is the destination of a final hop, and otherwise
+// carries the ciphertext unchanged (a sprayed copy). A tampered onion
+// returns an error and leaves this node unchanged.
+func (n *Node) acceptLocked(c *carried) error {
+	if n.seen[c.id] {
+		return fmt.Errorf("%w: already saw message %s", errTransfer, c.id)
+	}
+	// Custody refusal when the buffer is full; deliveries to the final
+	// destination consume no buffer and are always accepted.
+	if n.bufferLimit > 0 && len(n.buffer) >= n.bufferLimit && !(c.lastHop && c.deliverTo == n.id) {
+		n.stats.Refused++
+		return fmt.Errorf("%w: buffer full (%d onions)", errTransfer, len(n.buffer))
+	}
+	if c.lastHop {
+		if c.deliverTo != n.id {
+			return fmt.Errorf("%w: final hop addressed to %d, not %d", errTransfer, c.deliverTo, n.id)
+		}
+		cipher, err := n.dir.OwnCipher(n.id)
+		if err != nil {
+			n.stats.Rejected++
+			return fmt.Errorf("%w: %v", errTransfer, err)
+		}
+		payload, err := onion.Unwrap(c.data, cipher)
+		if err != nil {
+			n.stats.Rejected++
+			return fmt.Errorf("%w: %v", errTransfer, err)
+		}
+		n.delivered[c.id] = payload
+		n.seen[c.id] = true
+		n.acks[c.id] = true // origin of the anti-packet
+		n.stats.Delivered++
+		return nil
+	}
+	if !n.dir.Contains(c.group, n.id) {
+		// Sprayed copy: carry the ciphertext unchanged until a group
+		// member is met.
+		n.buffer[c.id] = &carried{
+			id: c.id, data: c.data, group: c.group, tickets: 1, expiry: c.expiry,
+		}
+		n.seen[c.id] = true
+		n.stats.Carried++
+		return nil
+	}
+	cipher, err := n.dir.MemberCipher(n.id, c.group)
+	if err != nil {
+		// A member without epoch access (revoked) cannot peel; the
+		// sender keeps custody and routes via another member.
+		n.stats.Rejected++
+		return fmt.Errorf("%w: %v", errTransfer, err)
+	}
+	peeled, err := onion.Peel(c.data, cipher)
+	if err != nil {
+		n.stats.Rejected++
+		return fmt.Errorf("%w: %v", errTransfer, err)
+	}
+	next := &carried{id: c.id, tickets: 1, expiry: c.expiry}
+	if peeled.Deliver {
+		next.lastHop = true
+		next.deliverTo = contact.NodeID(peeled.Dest)
+		next.data = peeled.Inner
+	} else {
+		next.group = peeled.NextGroup
+		next.data = peeled.Inner
+	}
+	n.buffer[c.id] = next
+	n.seen[c.id] = true
+	n.stats.Carried++
+	return nil
+}
+
+// learnAckLocked records a delivery acknowledgement and purges any
+// buffered copy of that message. The caller holds n.mu.
+func (n *Node) learnAckLocked(id string) {
+	if n.acks[id] {
+		return
+	}
+	n.acks[id] = true
+	if _, held := n.buffer[id]; held {
+		delete(n.buffer, id)
+		n.stats.Purged++
+	}
+}
+
+// KnowsDelivered reports whether this node has learned (directly or
+// via anti-packet gossip) that the message was delivered.
+func (n *Node) KnowsDelivered(msgID string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.acks[msgID]
+}
+
+// expireLocked drops onions past their deadline. The caller holds n.mu.
+func (n *Node) expireLocked(now float64) {
+	for id, c := range n.buffer {
+		if c.expiry > 0 && now > c.expiry {
+			delete(n.buffer, id)
+			n.stats.Expired++
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/onion"
+)
+
+func TestCarriedBundleRoundTrip(t *testing.T) {
+	c := &carried{
+		id:      "00112233445566778899aabbccddeeff",
+		data:    []byte("layered ciphertext"),
+		group:   onion.GroupID(5),
+		tickets: 3,
+		expiry:  120,
+	}
+	frame, err := c.toBundle().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiveFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.id != c.id || got.group != c.group || got.lastHop || got.expiry != c.expiry {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !bytes.Equal(got.data, c.data) {
+		t.Fatal("data mismatch")
+	}
+	// Receivers always get exactly one ticket regardless of sender
+	// state.
+	if got.tickets != 1 {
+		t.Fatalf("tickets = %d, want 1", got.tickets)
+	}
+}
+
+func TestCarriedBundleLastHop(t *testing.T) {
+	c := &carried{
+		id:        "00112233445566778899aabbccddeeff",
+		data:      []byte("inner"),
+		lastHop:   true,
+		deliverTo: 9,
+		tickets:   1,
+	}
+	frame, err := c.toBundle().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiveFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.lastHop || got.deliverTo != 9 {
+		t.Fatalf("last hop fields: %+v", got)
+	}
+}
+
+func TestMalformedMessageIDPanics(t *testing.T) {
+	c := &carried{id: "not-hex", data: []byte("x"), group: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on malformed id")
+		}
+	}()
+	_ = c.toBundle()
+}
+
+func TestReceiveFrameRejectsGarbage(t *testing.T) {
+	if _, err := receiveFrame([]byte("junk")); err == nil {
+		t.Fatal("accepted garbage frame")
+	}
+}

@@ -1,0 +1,62 @@
+package onion_test
+
+import (
+	"fmt"
+
+	"repro/internal/onion"
+)
+
+// Example walks the basic onion lifecycle: the source wraps a message
+// in layers for two onion groups and the destination; each group
+// member peels its layer; the destination unwraps the payload.
+func Example() {
+	newCipher := func() onion.Cipher {
+		key, err := onion.GenerateKey()
+		if err != nil {
+			panic(err)
+		}
+		c, err := onion.NewSymmetricCipher(key)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	group1, group2, dest := newCipher(), newCipher(), newCipher()
+
+	data, err := onion.Build(
+		42, // destination node
+		[]byte("meet at dawn"),
+		[]onion.Hop{{Group: 7, Cipher: group1}, {Group: 9, Cipher: group2}},
+		dest,
+		0, // no padding
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// An R_7 member peels the first layer and learns only "forward to
+	// any member of group 9".
+	p1, err := onion.Peel(data, group1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("first relay sees next group:", p1.NextGroup)
+
+	// An R_9 member peels the second layer and learns the destination.
+	p2, err := onion.Peel(p1.Inner, group2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("last relay sees destination:", p2.Dest)
+
+	// Only node 42 recovers the payload.
+	msg, err := onion.Unwrap(p2.Inner, dest)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("destination reads: %s\n", msg)
+	// Output:
+	// first relay sees next group: 9
+	// last relay sees destination: 42
+	// destination reads: meet at dawn
+}

@@ -1,0 +1,170 @@
+package onion
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// GroupID identifies an onion group (see package groups).
+type GroupID int32
+
+// NodeID mirrors contact.NodeID without importing the graph package;
+// the two are freely convertible.
+type NodeID int32
+
+// Layer type tags (start at 1 so a zeroed buffer never parses).
+const (
+	tagRelay   byte = 1 // plaintext: [tag][4B next group][inner onion]
+	tagDeliver byte = 2 // plaintext: [tag][4B destination][inner (sealed for dest)]
+)
+
+const layerHeader = 1 + 4 // tag + 4-byte address
+
+// Hop is one onion layer in travel order: the group that can peel it.
+type Hop struct {
+	Group  GroupID
+	Cipher Cipher
+}
+
+// Peeled is the result of removing one onion layer.
+type Peeled struct {
+	// Deliver reports whether this was the last relay layer: the
+	// holder must hand Inner to the destination Dest. Otherwise the
+	// holder forwards Inner to any member of NextGroup.
+	Deliver   bool
+	NextGroup GroupID
+	Dest      NodeID
+	Inner     []byte
+}
+
+// MinSize returns the smallest possible onion size for a payload of
+// payloadLen bytes routed through the given hops and sealed for the
+// destination with destCipher.
+func MinSize(payloadLen int, hops []Hop, destCipher Cipher) int {
+	size := 4 + payloadLen + destCipher.Overhead() // [4B len][payload]
+	for _, h := range hops {
+		size += layerHeader + h.Cipher.Overhead()
+	}
+	return size
+}
+
+// Build constructs an onion for the path src -> hops[0].Group -> ... ->
+// hops[K-1].Group -> dest (Fig. 1's layered encryption with onion
+// groups). The innermost layer is sealed with destCipher so that relays
+// never see the payload. If padTo > 0 the payload is padded with
+// random bytes so the outermost onion is exactly padTo bytes,
+// concealing the payload length (and, across onions with the same
+// padTo, the remaining layer count is already concealed by encryption).
+func Build(dest NodeID, payload []byte, hops []Hop, destCipher Cipher, padTo int) ([]byte, error) {
+	return buildWithRand(dest, payload, hops, destCipher, padTo, rand.Reader)
+}
+
+func buildWithRand(dest NodeID, payload []byte, hops []Hop, destCipher Cipher, padTo int, rnd io.Reader) ([]byte, error) {
+	if len(hops) == 0 {
+		return nil, errors.New("onion: at least one hop is required")
+	}
+	if dest < 0 {
+		return nil, fmt.Errorf("onion: invalid destination %d", dest)
+	}
+	for i, h := range hops {
+		if h.Group < 0 {
+			return nil, fmt.Errorf("onion: hop %d has invalid group %d", i, h.Group)
+		}
+		if h.Cipher == nil {
+			return nil, fmt.Errorf("onion: hop %d has nil cipher", i)
+		}
+	}
+	if destCipher == nil {
+		return nil, errors.New("onion: nil destination cipher")
+	}
+
+	pad := 0
+	if padTo > 0 {
+		min := MinSize(len(payload), hops, destCipher)
+		if padTo < min {
+			return nil, fmt.Errorf("onion: padTo %d smaller than minimum size %d", padTo, min)
+		}
+		pad = padTo - min
+	}
+
+	// Innermost: [4B payload len][payload][random padding], sealed for
+	// the destination.
+	body := make([]byte, 4+len(payload)+pad)
+	binary.BigEndian.PutUint32(body, uint32(len(payload)))
+	copy(body[4:], payload)
+	if pad > 0 {
+		if _, err := io.ReadFull(rnd, body[4+len(payload):]); err != nil {
+			return nil, fmt.Errorf("onion: padding: %w", err)
+		}
+	}
+	cur, err := destCipher.Seal(body)
+	if err != nil {
+		return nil, fmt.Errorf("onion: seal payload: %w", err)
+	}
+
+	// Wrap layers inside-out: the last hop gets the deliver tag.
+	for k := len(hops) - 1; k >= 0; k-- {
+		pt := make([]byte, layerHeader+len(cur))
+		if k == len(hops)-1 {
+			pt[0] = tagDeliver
+			binary.BigEndian.PutUint32(pt[1:], uint32(dest))
+		} else {
+			pt[0] = tagRelay
+			binary.BigEndian.PutUint32(pt[1:], uint32(hops[k+1].Group))
+		}
+		copy(pt[layerHeader:], cur)
+		cur, err = hops[k].Cipher.Seal(pt)
+		if err != nil {
+			return nil, fmt.Errorf("onion: seal layer %d: %w", k, err)
+		}
+	}
+	return cur, nil
+}
+
+// Peel removes one relay layer using the group cipher of the node that
+// received the onion. Tampered or foreign onions produce an error.
+func Peel(data []byte, c Cipher) (*Peeled, error) {
+	if c == nil {
+		return nil, errors.New("onion: nil cipher")
+	}
+	pt, err := c.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(pt) < layerHeader {
+		return nil, errors.New("onion: layer plaintext too short")
+	}
+	addr := binary.BigEndian.Uint32(pt[1:])
+	inner := append([]byte(nil), pt[layerHeader:]...)
+	switch pt[0] {
+	case tagRelay:
+		return &Peeled{NextGroup: GroupID(addr), Inner: inner}, nil
+	case tagDeliver:
+		return &Peeled{Deliver: true, Dest: NodeID(addr), Inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("onion: unknown layer tag %d", pt[0])
+	}
+}
+
+// Unwrap recovers the payload from the innermost onion body using the
+// destination's cipher.
+func Unwrap(inner []byte, destCipher Cipher) ([]byte, error) {
+	if destCipher == nil {
+		return nil, errors.New("onion: nil cipher")
+	}
+	body, err := destCipher.Open(inner)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, errors.New("onion: body too short")
+	}
+	n := binary.BigEndian.Uint32(body)
+	if int(n) > len(body)-4 {
+		return nil, fmt.Errorf("onion: declared payload length %d exceeds body %d", n, len(body)-4)
+	}
+	return append([]byte(nil), body[4:4+n]...), nil
+}

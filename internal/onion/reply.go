@@ -1,0 +1,182 @@
+package onion
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Reply onions (an extension following classic onion routing
+// [Goldschlag et al. 1999]): a source that wants an answer without
+// revealing its identity pre-builds a reply header routed through
+// onion groups back to itself and ships it inside the forward
+// message. The responder attaches its payload to the header and sends
+// both to the first reply group; each relay that peels a header layer
+// finds a fresh hop key and *adds* an encryption layer to the payload
+// with it, so the payload looks different at every hop (no traffic
+// correlation) while no relay learns either endpoint. The source, who
+// generated all hop keys, strips the layers.
+//
+// Reply layers extend the wire layer format with a hop key:
+//
+//	relay:   [tag][4B next group][32B hop key][inner header]
+//	deliver: [tag][4B owner]     [32B hop key][inner header]
+
+const (
+	tagReplyRelay   byte = 3
+	tagReplyDeliver byte = 4
+)
+
+const replyLayerHeader = layerHeader + KeySize
+
+// PeeledReply is the result of removing one reply-header layer.
+type PeeledReply struct {
+	// Deliver reports whether this was the last relay layer: the
+	// holder hands (Inner, wrapped payload) to the owner Dest.
+	Deliver   bool
+	NextGroup GroupID
+	Dest      NodeID
+	// HopKey is this relay's payload-wrapping key.
+	HopKey []byte
+	Inner  []byte
+}
+
+// MinReplySize returns the smallest reply header size for a tag of
+// tagLen bytes through the given hops.
+func MinReplySize(tagLen int, hops []Hop, ownerCipher Cipher) int {
+	size := 4 + tagLen + ownerCipher.Overhead()
+	for _, h := range hops {
+		size += replyLayerHeader + h.Cipher.Overhead()
+	}
+	return size
+}
+
+// BuildReply constructs a reply header routed through hops back to the
+// owner, plus the hop keys the owner must retain to unwrap the
+// response (in travel order: hopKeys[k] belongs to the relay of
+// hops[k]). tag is sealed for the owner so it can correlate the
+// response with the original request; padTo pads the header like
+// Build.
+func BuildReply(owner NodeID, tag []byte, hops []Hop, ownerCipher Cipher, padTo int) (header []byte, hopKeys [][]byte, err error) {
+	if len(hops) == 0 {
+		return nil, nil, errors.New("onion: at least one hop is required")
+	}
+	if owner < 0 {
+		return nil, nil, fmt.Errorf("onion: invalid owner %d", owner)
+	}
+	if ownerCipher == nil {
+		return nil, nil, errors.New("onion: nil owner cipher")
+	}
+	for i, h := range hops {
+		if h.Group < 0 || h.Cipher == nil {
+			return nil, nil, fmt.Errorf("onion: invalid hop %d", i)
+		}
+	}
+	pad := 0
+	if padTo > 0 {
+		min := MinReplySize(len(tag), hops, ownerCipher)
+		if padTo < min {
+			return nil, nil, fmt.Errorf("onion: padTo %d smaller than minimum size %d", padTo, min)
+		}
+		pad = padTo - min
+	}
+
+	body := make([]byte, 4+len(tag)+pad)
+	binary.BigEndian.PutUint32(body, uint32(len(tag)))
+	copy(body[4:], tag)
+	if pad > 0 {
+		if _, err := io.ReadFull(rand.Reader, body[4+len(tag):]); err != nil {
+			return nil, nil, fmt.Errorf("onion: padding: %w", err)
+		}
+	}
+	cur, err := ownerCipher.Seal(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("onion: seal reply tag: %w", err)
+	}
+
+	hopKeys = make([][]byte, len(hops))
+	for k := len(hops) - 1; k >= 0; k-- {
+		key, err := GenerateKey()
+		if err != nil {
+			return nil, nil, err
+		}
+		hopKeys[k] = key
+		pt := make([]byte, replyLayerHeader+len(cur))
+		if k == len(hops)-1 {
+			pt[0] = tagReplyDeliver
+			binary.BigEndian.PutUint32(pt[1:], uint32(owner))
+		} else {
+			pt[0] = tagReplyRelay
+			binary.BigEndian.PutUint32(pt[1:], uint32(hops[k+1].Group))
+		}
+		copy(pt[layerHeader:], key)
+		copy(pt[replyLayerHeader:], cur)
+		cur, err = hops[k].Cipher.Seal(pt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("onion: seal reply layer %d: %w", k, err)
+		}
+	}
+	return cur, hopKeys, nil
+}
+
+// PeelReply removes one reply-header layer with the relay's group
+// cipher, yielding the hop key the relay must wrap the payload with.
+func PeelReply(data []byte, c Cipher) (*PeeledReply, error) {
+	if c == nil {
+		return nil, errors.New("onion: nil cipher")
+	}
+	pt, err := c.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(pt) < replyLayerHeader {
+		return nil, errors.New("onion: reply layer too short")
+	}
+	addr := binary.BigEndian.Uint32(pt[1:])
+	key := append([]byte(nil), pt[layerHeader:replyLayerHeader]...)
+	inner := append([]byte(nil), pt[replyLayerHeader:]...)
+	switch pt[0] {
+	case tagReplyRelay:
+		return &PeeledReply{NextGroup: GroupID(addr), HopKey: key, Inner: inner}, nil
+	case tagReplyDeliver:
+		return &PeeledReply{Deliver: true, Dest: NodeID(addr), HopKey: key, Inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("onion: unknown reply layer tag %d", pt[0])
+	}
+}
+
+// WrapReplyPayload adds one relay's encryption layer to the response
+// payload using the hop key found in its header layer.
+func WrapReplyPayload(payload, hopKey []byte) ([]byte, error) {
+	c, err := NewSymmetricCipher(hopKey)
+	if err != nil {
+		return nil, err
+	}
+	return c.Seal(payload)
+}
+
+// UnwrapReplyPayload strips all relay layers from a response: the
+// owner applies its retained hop keys in reverse travel order (the
+// last relay wrapped last, so its layer is outermost).
+func UnwrapReplyPayload(wrapped []byte, hopKeys [][]byte) ([]byte, error) {
+	cur := wrapped
+	for k := len(hopKeys) - 1; k >= 0; k-- {
+		c, err := NewSymmetricCipher(hopKeys[k])
+		if err != nil {
+			return nil, err
+		}
+		cur, err = c.Open(cur)
+		if err != nil {
+			return nil, fmt.Errorf("onion: unwrap reply layer %d: %w", k, err)
+		}
+	}
+	return cur, nil
+}
+
+// OpenReplyTag recovers the correlation tag from the innermost reply
+// header, proving the response followed the owner's own header.
+func OpenReplyTag(inner []byte, ownerCipher Cipher) ([]byte, error) {
+	return Unwrap(inner, ownerCipher)
+}

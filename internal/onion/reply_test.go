@@ -1,0 +1,211 @@
+package onion
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReplyFullRoundTrip walks the complete anonymous reply flow: the
+// owner builds a header through 3 groups; the responder attaches a
+// payload; each relay peels its header layer and wraps the payload
+// with the embedded hop key; the owner strips everything.
+func TestReplyFullRoundTrip(t *testing.T) {
+	const K = 3
+	hops, ciphers := buildTestHops(t, K)
+	ownerCipher := mustSym(t)
+	tag := []byte("request-7731")
+
+	header, hopKeys, err := BuildReply(5, tag, hops, ownerCipher, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hopKeys) != K {
+		t.Fatalf("hop keys = %d, want %d", len(hopKeys), K)
+	}
+
+	// Responder attaches its payload in the clear (it could further
+	// encrypt end to end; out of scope here).
+	payload := []byte("the answer is 42")
+	curHeader, curPayload := header, payload
+	for k := 0; k < K; k++ {
+		p, err := PeelReply(curHeader, ciphers[k])
+		if err != nil {
+			t.Fatalf("peel reply layer %d: %v", k, err)
+		}
+		if k < K-1 {
+			if p.Deliver {
+				t.Fatalf("layer %d unexpectedly final", k)
+			}
+			if p.NextGroup != hops[k+1].Group {
+				t.Fatalf("layer %d next group %d, want %d", k, p.NextGroup, hops[k+1].Group)
+			}
+		} else {
+			if !p.Deliver || p.Dest != 5 {
+				t.Fatalf("deliver layer wrong: %+v", p)
+			}
+		}
+		if !bytes.Equal(p.HopKey, hopKeys[k]) {
+			t.Fatalf("layer %d hop key mismatch", k)
+		}
+		curPayload, err = WrapReplyPayload(curPayload, p.HopKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curHeader = p.Inner
+	}
+
+	// Owner side: verify the tag and unwrap the payload.
+	gotTag, err := OpenReplyTag(curHeader, ownerCipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotTag, tag) {
+		t.Fatalf("tag = %q, want %q", gotTag, tag)
+	}
+	got, err := UnwrapReplyPayload(curPayload, hopKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestReplyPayloadChangesEveryHop(t *testing.T) {
+	hops, ciphers := buildTestHops(t, 2)
+	ownerCipher := mustSym(t)
+	header, _, err := BuildReply(1, []byte("t"), hops, ownerCipher, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("trackable-if-unchanged-0123456789")
+	cur := header
+	seen := [][]byte{append([]byte(nil), payload...)}
+	p := payload
+	for k := 0; k < 2; k++ {
+		peeled, err := PeelReply(cur, ciphers[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err = WrapReplyPayload(p, peeled.HopKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, old := range seen {
+			if bytes.Contains(p, old[:16]) {
+				t.Fatalf("hop %d payload contains a previous hop's bytes", k)
+			}
+		}
+		seen = append(seen, append([]byte(nil), p...))
+		cur = peeled.Inner
+	}
+}
+
+func TestReplyUnwrapWrongOrderFails(t *testing.T) {
+	hops, ciphers := buildTestHops(t, 2)
+	ownerCipher := mustSym(t)
+	header, hopKeys, err := BuildReply(1, []byte("t"), hops, ownerCipher, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []byte("resp")
+	cur := header
+	for k := 0; k < 2; k++ {
+		peeled, err := PeelReply(cur, ciphers[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err = WrapReplyPayload(p, peeled.HopKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = peeled.Inner
+	}
+	// Reversed key order must fail (GCM authentication).
+	reversed := [][]byte{hopKeys[1], hopKeys[0]}
+	if _, err := UnwrapReplyPayload(p, reversed); err == nil {
+		t.Fatal("unwrapped with reversed keys")
+	}
+	if got, err := UnwrapReplyPayload(p, hopKeys); err != nil || !bytes.Equal(got, []byte("resp")) {
+		t.Fatalf("correct order failed: %v", err)
+	}
+}
+
+func TestReplyPadding(t *testing.T) {
+	hops, _ := buildTestHops(t, 2)
+	ownerCipher := mustSym(t)
+	const padTo = 2048
+	a, _, err := BuildReply(1, []byte("x"), hops, ownerCipher, padTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := BuildReply(1, bytes.Repeat([]byte("y"), 300), hops, ownerCipher, padTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != padTo || len(b) != padTo {
+		t.Fatalf("padded sizes %d, %d; want %d", len(a), len(b), padTo)
+	}
+	if _, _, err := BuildReply(1, bytes.Repeat([]byte("z"), 100), hops, ownerCipher, 8); err == nil {
+		t.Fatal("accepted padTo below minimum")
+	}
+}
+
+func TestBuildReplyValidation(t *testing.T) {
+	hops, _ := buildTestHops(t, 1)
+	ownerCipher := mustSym(t)
+	if _, _, err := BuildReply(1, nil, nil, ownerCipher, 0); err == nil {
+		t.Fatal("accepted zero hops")
+	}
+	if _, _, err := BuildReply(-1, nil, hops, ownerCipher, 0); err == nil {
+		t.Fatal("accepted negative owner")
+	}
+	if _, _, err := BuildReply(1, nil, hops, nil, 0); err == nil {
+		t.Fatal("accepted nil owner cipher")
+	}
+	if _, _, err := BuildReply(1, nil, []Hop{{Group: -1, Cipher: ownerCipher}}, ownerCipher, 0); err == nil {
+		t.Fatal("accepted invalid hop")
+	}
+}
+
+func TestPeelReplyRejectsForwardOnion(t *testing.T) {
+	// A forward onion layer must not parse as a reply layer.
+	hops, ciphers := buildTestHops(t, 1)
+	destCipher := mustSym(t)
+	data, err := Build(1, []byte("m"), hops, destCipher, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeelReply(data, ciphers[0]); err == nil {
+		t.Fatal("forward onion parsed as reply header")
+	}
+}
+
+func TestPeelReplyGarbage(t *testing.T) {
+	c := mustSym(t)
+	if _, err := PeelReply([]byte("junk"), c); err == nil {
+		t.Fatal("peeled garbage")
+	}
+	if _, err := PeelReply(nil, nil); err == nil {
+		t.Fatal("nil cipher accepted")
+	}
+}
+
+func TestWrapReplyPayloadBadKey(t *testing.T) {
+	if _, err := WrapReplyPayload([]byte("p"), []byte("short")); err == nil {
+		t.Fatal("accepted short hop key")
+	}
+	if _, err := UnwrapReplyPayload([]byte("p"), [][]byte{{1, 2}}); err == nil {
+		t.Fatal("accepted short hop key in unwrap")
+	}
+}
+
+func BenchmarkBuildReply(b *testing.B) {
+	hops, _ := buildTestHops(b, 3)
+	ownerCipher := mustSym(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildReply(1, []byte("tag"), hops, ownerCipher, 2048); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

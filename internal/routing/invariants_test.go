@@ -1,0 +1,178 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/rng"
+)
+
+// TestOnionInvariantsUnderRandomContactStreams hammers the protocol
+// with arbitrary (including adversarial: repeated, self-looping,
+// out-of-universe) contacts and checks structural invariants that must
+// hold regardless of the schedule.
+func TestOnionInvariantsUnderRandomContactStreams(t *testing.T) {
+	root := rng.New(2718)
+	for trial := 0; trial < 300; trial++ {
+		s := root.SplitN("trial", trial)
+		n := 10 + s.IntN(30)
+		k := 1 + s.IntN(3)
+		gSize := 1 + s.IntN(4)
+		copies := 1 + s.IntN(4)
+		spray := s.Bernoulli(0.5)
+
+		// Build K disjoint groups from nodes 1..; src=0, dst=n-1.
+		sets := make([][]contact.NodeID, k)
+		id := 1
+		for i := range sets {
+			for j := 0; j < gSize && id < n-1; j++ {
+				sets[i] = append(sets[i], contact.NodeID(id))
+				id++
+			}
+			if len(sets[i]) == 0 {
+				sets[i] = append(sets[i], contact.NodeID(1))
+			}
+		}
+		p := Params{
+			Src: 0, Dst: contact.NodeID(n - 1), Sets: sets,
+			Copies: copies, Spray: spray, RunToCompletion: s.Bernoulli(0.5),
+		}
+		o, err := NewOnion(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastT := 0.0
+		for step := 0; step < 500; step++ {
+			a := contact.NodeID(s.IntN(n))
+			b := contact.NodeID(s.IntN(n)) // may equal a
+			lastT += s.Float64()
+			o.OnContact(lastT, a, b)
+			if o.Done() && s.Bernoulli(0.3) {
+				break
+			}
+		}
+		res := o.Result()
+
+		// Invariant: number of copies created never exceeds L.
+		if len(res.Copies) > copies {
+			t.Fatalf("trial %d: %d copies exceed L=%d", trial, len(res.Copies), copies)
+		}
+		// Invariant: transmissions == total visits excluding each
+		// copy's origin visit at the source.
+		visits := 0
+		for _, c := range res.Copies {
+			if len(c.Visits) == 0 {
+				t.Fatalf("trial %d: empty copy trace", trial)
+			}
+			if c.Visits[0].Node != 0 || c.Visits[0].Stage != 0 {
+				t.Fatalf("trial %d: copy does not start at the source: %+v", trial, c.Visits[0])
+			}
+			visits += len(c.Visits) - 1
+		}
+		if res.Transmissions != visits {
+			t.Fatalf("trial %d: transmissions %d != recorded hops %d", trial, res.Transmissions, visits)
+		}
+		// Invariant: stages never skip or regress along a copy, and
+		// only position 0 repeats (sprayed relays).
+		delivered := 0
+		for _, c := range res.Copies {
+			prev := 0
+			for vi, v := range c.Visits[1:] {
+				valid := v.Stage == prev+1 || (v.Stage == 0 && prev == 0)
+				if !valid {
+					t.Fatalf("trial %d: stage jump %d -> %d at visit %d", trial, prev, v.Stage, vi+1)
+				}
+				prev = v.Stage
+			}
+			if c.Delivered {
+				delivered++
+				last := c.Visits[len(c.Visits)-1]
+				if last.Node != contact.NodeID(n-1) || last.Stage != k+1 {
+					t.Fatalf("trial %d: delivered copy ends at %+v", trial, last)
+				}
+			}
+		}
+		// Invariant: at most one copy delivers (Forward() is false once
+		// the destination has the message).
+		if delivered > 1 {
+			t.Fatalf("trial %d: %d copies delivered", trial, delivered)
+		}
+		if res.Delivered && delivered != 1 {
+			t.Fatalf("trial %d: Delivered set but %d delivered copies", trial, delivered)
+		}
+		// Invariant: spray disabled => every visit after the source is
+		// a group member or the destination (no arbitrary carriers).
+		if !spray {
+			for _, c := range res.Copies {
+				for _, v := range c.Visits[1:] {
+					if v.Stage == 0 {
+						t.Fatalf("trial %d: strict mode sprayed to %d", trial, v.Node)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTPSInvariantsUnderRandomContactStreams does the same for the
+// Threshold Pivot Scheme.
+func TestTPSInvariantsUnderRandomContactStreams(t *testing.T) {
+	root := rng.New(314)
+	for trial := 0; trial < 300; trial++ {
+		s := root.SplitN("trial", trial)
+		n := 12 + s.IntN(20)
+		shares := 2 + s.IntN(4)
+		tau := 1 + s.IntN(shares)
+
+		sets := make([][]contact.NodeID, shares)
+		id := 1
+		for i := range sets {
+			for j := 0; j < 2 && id < n-2; j++ {
+				sets[i] = append(sets[i], contact.NodeID(id))
+				id++
+			}
+			if len(sets[i]) == 0 {
+				sets[i] = append(sets[i], contact.NodeID(1))
+			}
+		}
+		p := TPSParams{
+			Src: 0, Dst: contact.NodeID(n - 1), Pivot: contact.NodeID(n - 2),
+			Sets: sets, Threshold: tau,
+		}
+		tp, err := NewTPS(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastT := 0.0
+		for step := 0; step < 500 && !tp.Done(); step++ {
+			a := contact.NodeID(s.IntN(n))
+			b := contact.NodeID(s.IntN(n))
+			lastT += s.Float64()
+			tp.OnContact(lastT, a, b)
+		}
+		res := tp.Result()
+		if res.SharesAtPivot > shares {
+			t.Fatalf("trial %d: pivot holds %d > %d shares", trial, res.SharesAtPivot, shares)
+		}
+		if res.Delivered && res.SharesAtPivot < tau {
+			t.Fatalf("trial %d: delivered below threshold", trial)
+		}
+		if res.Transmissions > 2*shares+1 {
+			t.Fatalf("trial %d: %d transmissions exceed 2s+1", trial, res.Transmissions)
+		}
+		for i, relay := range res.ShareRelays {
+			if relay == -1 {
+				continue
+			}
+			found := false
+			for _, m := range sets[i] {
+				if m == relay {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: share %d carried by non-member %d", trial, i, relay)
+			}
+		}
+	}
+}

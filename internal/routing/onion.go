@@ -1,0 +1,163 @@
+package routing
+
+import (
+	"repro/internal/contact"
+)
+
+// copyState is the live state of one message copy: the target set it
+// must reach next and its realized path so far.
+type copyState struct {
+	stage int
+	trace *CopyTrace
+}
+
+// Onion is the contact-driven abstract protocol (Algorithms 1 and 2,
+// plus the Spray augmentation). It implements the sim.Protocol
+// interface structurally and therefore runs on the synthetic engine or
+// on trace replay unchanged.
+type Onion struct {
+	p       Params
+	members []map[contact.NodeID]bool // per target set, O(1) membership
+	holders map[contact.NodeID]*copyState
+	tickets int          // source's remaining tickets
+	copies  []*CopyTrace // every copy ever created, in creation order
+	res     Result
+}
+
+// NewOnion builds the protocol instance for one message.
+func NewOnion(p Params) (*Onion, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := &Onion{
+		p:       p,
+		members: make([]map[contact.NodeID]bool, len(p.Sets)),
+		holders: make(map[contact.NodeID]*copyState),
+		tickets: p.Copies,
+	}
+	for k, set := range p.Sets {
+		m := make(map[contact.NodeID]bool, len(set))
+		for _, v := range set {
+			m[v] = true
+		}
+		o.members[k] = m
+	}
+	// The source holds the message at stage 0; a nil trace marks the
+	// ticket-bearing source rather than a forwarded copy.
+	o.holders[p.Src] = &copyState{stage: 0}
+	return o, nil
+}
+
+// Done implements sim.Protocol: the simulation may stop after the
+// first delivery unless full transmission accounting was requested, or
+// when no copy can ever move again.
+func (o *Onion) Done() bool {
+	if o.res.Delivered && !o.p.RunToCompletion {
+		return true
+	}
+	return len(o.holders) == 0
+}
+
+// Result returns the outcome observed so far.
+func (o *Onion) Result() Result {
+	out := o.res
+	out.Copies = make([]CopyTrace, len(o.copies))
+	for i, tr := range o.copies {
+		out.Copies[i] = CopyTrace{
+			Visits:    append([]Visit(nil), tr.Visits...),
+			Delivered: tr.Delivered,
+		}
+	}
+	return out
+}
+
+// OnContact implements sim.Protocol. Both forwarding directions are
+// attempted, but a copy that just moved cannot move again within the
+// same contact.
+func (o *Onion) OnContact(t float64, a, b contact.NodeID) {
+	if t < o.p.StartTime || o.Done() {
+		return
+	}
+	if !o.tryForward(t, a, b) {
+		o.tryForward(t, b, a)
+	}
+}
+
+// tryForward attempts a transfer from holder h to peer at time t and
+// reports whether a copy moved.
+func (o *Onion) tryForward(t float64, h, peer contact.NodeID) bool {
+	st, ok := o.holders[h]
+	if !ok {
+		return false
+	}
+	if h == o.p.Src && st.trace == nil {
+		return o.sourceForward(t, peer)
+	}
+	return o.relayForward(t, h, st, peer)
+}
+
+// sourceForward implements the source's ticket logic: forward a copy
+// into R_1 whenever an R_1 member is met (Algorithm 2 line 7-9), and —
+// in Spray mode only — hand a copy to any other node while at least
+// two tickets remain (source spray-and-wait, Sec. V).
+func (o *Onion) sourceForward(t float64, peer contact.NodeID) bool {
+	if peer == o.p.Dst || peer == o.p.Src || o.isHolding(peer) {
+		return false
+	}
+	var stage int
+	switch {
+	case o.members[0][peer]:
+		stage = 1
+	case o.p.Spray && o.tickets >= 2:
+		stage = 0
+	default:
+		return false
+	}
+	tr := &CopyTrace{Visits: []Visit{{Node: o.p.Src, Stage: 0}}}
+	o.copies = append(o.copies, tr)
+	o.transfer(t, peer, stage, tr)
+	o.tickets--
+	if o.tickets == 0 {
+		delete(o.holders, o.p.Src) // buffer emptied (Algorithm 2 line 10-11)
+	}
+	return true
+}
+
+// relayForward implements a single-ticket relay: at stage k <= K-1 it
+// forwards to any member of R_{k+1}; at stage K it delivers to the
+// destination — unless the destination already has the message, in
+// which case Forward() is false and the copy stalls.
+func (o *Onion) relayForward(t float64, h contact.NodeID, st *copyState, peer contact.NodeID) bool {
+	k := st.stage
+	if k == len(o.p.Sets) {
+		if peer != o.p.Dst || o.res.Delivered {
+			return false
+		}
+		o.res.Transmissions++
+		st.trace.Visits = append(st.trace.Visits, Visit{Node: o.p.Dst, Stage: k + 1})
+		st.trace.Delivered = true
+		o.res.Delivered = true
+		o.res.Time = t
+		delete(o.holders, h)
+		return true
+	}
+	if !o.members[k][peer] || o.isHolding(peer) || peer == o.p.Dst {
+		return false
+	}
+	delete(o.holders, h) // relay hands off its only ticket
+	o.transfer(t, peer, k+1, st.trace)
+	return true
+}
+
+// transfer hands a copy to peer at the given stage, recording the
+// visit and the transmission.
+func (o *Onion) transfer(_ float64, peer contact.NodeID, stage int, tr *CopyTrace) {
+	o.res.Transmissions++
+	tr.Visits = append(tr.Visits, Visit{Node: peer, Stage: stage})
+	o.holders[peer] = &copyState{stage: stage, trace: tr}
+}
+
+func (o *Onion) isHolding(v contact.NodeID) bool {
+	_, ok := o.holders[v]
+	return ok
+}

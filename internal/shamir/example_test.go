@@ -1,0 +1,32 @@
+package shamir_test
+
+import (
+	"fmt"
+
+	"repro/internal/shamir"
+)
+
+// Example splits a secret 5 ways with threshold 3: any three shares
+// reconstruct it; two do not.
+func Example() {
+	secret := []byte("fall back to checkpoint bravo")
+	shares, err := shamir.Split(secret, 5, 3)
+	if err != nil {
+		panic(err)
+	}
+
+	recovered, err := shamir.Combine([]shamir.Share{shares[4], shares[0], shares[2]})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("three shares: %s\n", recovered)
+
+	garbage, err := shamir.Combine(shares[:2])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("two shares reconstruct the secret:", string(garbage) == string(secret))
+	// Output:
+	// three shares: fall back to checkpoint bravo
+	// two shares reconstruct the secret: false
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Two-sample Kolmogorov-Smirnov test, used by the cross-validation
+// tests to show that the direct sampler and the full contact engine
+// produce the *same delivery-time distribution*, not merely the same
+// mean.
+
+// KSStatistic returns the two-sample KS statistic
+// D = sup_x |F_a(x) - F_b(x)| between the empirical CDFs of a and b.
+// It panics if either sample is empty.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KS statistic of empty sample")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		// Evaluate the CDF gap just after each distinct value; ties
+		// advance both sides together.
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// ksCritical maps significance levels to the c(alpha) coefficient of
+// the large-sample KS threshold c(alpha) * sqrt((n+m)/(n*m)).
+var ksCritical = map[float64]float64{
+	0.10:  1.224,
+	0.05:  1.358,
+	0.01:  1.628,
+	0.001: 1.949,
+}
+
+// KSThreshold returns the rejection threshold for the two-sample KS
+// test at the given significance level (supported: 0.10, 0.05, 0.01,
+// 0.001) and sample sizes.
+func KSThreshold(n, m int, alpha float64) (float64, error) {
+	c, ok := ksCritical[alpha]
+	if !ok {
+		return 0, fmt.Errorf("stats: unsupported KS significance level %v", alpha)
+	}
+	if n < 1 || m < 1 {
+		return 0, fmt.Errorf("stats: KS threshold needs positive sample sizes, got %d, %d", n, m)
+	}
+	return c * math.Sqrt(float64(n+m)/float64(n)/float64(m)), nil
+}
+
+// KSSameDistribution reports whether the two samples are consistent
+// with a common distribution at the given significance level: true
+// means the KS test does NOT reject equality.
+func KSSameDistribution(a, b []float64, alpha float64) (bool, float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return false, 0, fmt.Errorf("stats: KS test needs non-empty samples")
+	}
+	d := KSStatistic(a, b)
+	thr, err := KSThreshold(len(a), len(b), alpha)
+	if err != nil {
+		return false, d, err
+	}
+	return d <= thr, d, nil
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(a, a); d != 0 {
+		t.Fatalf("D = %v for identical samples", d)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStatistic(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("D = %v for disjoint samples, want 1", d)
+	}
+}
+
+func TestKSStatisticKnownValue(t *testing.T) {
+	// a = {1,3}, b = {2,4}: CDFs diverge by 0.5 between points.
+	a := []float64{1, 3}
+	b := []float64{2, 4}
+	if d := KSStatistic(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("D = %v, want 0.5", d)
+	}
+}
+
+func TestKSStatisticPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KSStatistic(nil, []float64{1})
+}
+
+func TestKSThreshold(t *testing.T) {
+	thr, err := KSThreshold(100, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.358 * math.Sqrt(200.0/10000.0)
+	if math.Abs(thr-want) > 1e-12 {
+		t.Fatalf("threshold %v, want %v", thr, want)
+	}
+	if _, err := KSThreshold(100, 100, 0.42); err == nil {
+		t.Fatal("accepted unsupported alpha")
+	}
+	if _, err := KSThreshold(0, 10, 0.05); err == nil {
+		t.Fatal("accepted empty sample size")
+	}
+}
+
+func TestKSAcceptsSameDistribution(t *testing.T) {
+	s := rng.New(7)
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = s.Exp(0.5)
+		b[i] = s.Exp(0.5)
+	}
+	same, d, err := KSSameDistribution(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatalf("rejected identical exponential samples (D = %v)", d)
+	}
+}
+
+func TestKSRejectsDifferentDistributions(t *testing.T) {
+	s := rng.New(9)
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = s.Exp(0.5)
+		b[i] = s.Exp(0.7) // 40% different rate
+	}
+	same, d, err := KSSameDistribution(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Fatalf("failed to reject different rates (D = %v)", d)
+	}
+}
+
+func TestKSSameDistributionErrors(t *testing.T) {
+	if _, _, err := KSSameDistribution(nil, []float64{1}, 0.05); err == nil {
+		t.Fatal("accepted empty sample")
+	}
+	if _, _, err := KSSameDistribution([]float64{1}, []float64{2}, 0.42); err == nil {
+		t.Fatal("accepted unsupported alpha")
+	}
+}
+
+func BenchmarkKSStatistic(b *testing.B) {
+	s := rng.New(1)
+	a := make([]float64, 2000)
+	c := make([]float64, 2000)
+	for i := range a {
+		a[i] = s.Exp(1)
+		c[i] = s.Exp(1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KSStatistic(a, c)
+	}
+}

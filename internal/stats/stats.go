@@ -1,0 +1,280 @@
+// Package stats provides the descriptive statistics used by the
+// experiment harness: streaming moment accumulators, confidence
+// intervals, empirical CDFs (delivery-time to delivery-rate curves),
+// Shannon entropy, and the run-length decomposition at the heart of the
+// traceable-rate metric (Eq. 1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance (Welford). The zero
+// value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(v float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = v, v
+	} else {
+		a.min = math.Min(a.min, v)
+		a.max = math.Max(a.max, v)
+	}
+	d := v - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (v - a.mean)
+}
+
+// AddBool incorporates an indicator observation (1 for true, 0 for
+// false), convenient for success-rate estimation.
+func (a *Accumulator) AddBool(b bool) {
+	if b {
+		a.Add(1)
+	} else {
+		a.Add(0)
+	}
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 if empty.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than
+// two observations.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval around the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Min returns the smallest observation, or 0 if empty.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Summary is a value snapshot of an Accumulator.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize returns a snapshot of the accumulator.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{N: a.n, Mean: a.mean, StdDev: a.StdDev(), CI95: a.CI95(), Min: a.min, Max: a.max}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g ±%.3g (sd=%.3g, min=%.3g, max=%.3g)",
+		s.N, s.Mean, s.CI95, s.StdDev, s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice or
+// out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function over observed
+// values, with support for censored observations (values known only to
+// exceed some bound, e.g. messages not delivered by the simulation
+// horizon).
+type ECDF struct {
+	values   []float64
+	censored int
+	sorted   bool
+}
+
+// NewECDF returns an empty ECDF.
+func NewECDF() *ECDF { return &ECDF{} }
+
+// Observe records a realized value (e.g. a delivery time).
+func (e *ECDF) Observe(v float64) {
+	e.values = append(e.values, v)
+	e.sorted = false
+}
+
+// ObserveCensored records an observation that never materialized within
+// the horizon (e.g. an undelivered message); it contributes to the
+// denominator at every evaluation point.
+func (e *ECDF) ObserveCensored() { e.censored++ }
+
+// N returns the total number of observations, censored included.
+func (e *ECDF) N() int { return len(e.values) + e.censored }
+
+// At returns the fraction of observations with value <= t. Censored
+// observations count as "greater than any t".
+func (e *ECDF) At(t float64) float64 {
+	n := e.N()
+	if n == 0 {
+		return 0
+	}
+	if !e.sorted {
+		sort.Float64s(e.values)
+		e.sorted = true
+	}
+	idx := sort.SearchFloat64s(e.values, math.Nextafter(t, math.Inf(1)))
+	return float64(idx) / float64(n)
+}
+
+// Curve evaluates the ECDF at each point in ts.
+func (e *ECDF) Curve(ts []float64) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = e.At(t)
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (bits) of the distribution p.
+// Entries that are zero contribute nothing; p need not be normalized
+// exactly, but negative entries panic.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v < 0 {
+			panic("stats: negative probability")
+		}
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// UniformEntropy returns log2(n), the entropy of a uniform distribution
+// over n outcomes; 0 for n <= 1.
+func UniformEntropy(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// Run is a maximal block of consecutive equal bits.
+type Run struct {
+	Value  bool // the bit value of the block
+	Length int  // number of consecutive positions
+}
+
+// Runs decomposes bits into maximal runs, in order. An empty input
+// yields nil.
+func Runs(bits []bool) []Run {
+	if len(bits) == 0 {
+		return nil
+	}
+	var out []Run
+	cur := Run{Value: bits[0], Length: 1}
+	for _, b := range bits[1:] {
+		if b == cur.Value {
+			cur.Length++
+			continue
+		}
+		out = append(out, cur)
+		cur = Run{Value: b, Length: 1}
+	}
+	return append(out, cur)
+}
+
+// SumSquaredTrueRuns returns the sum over maximal runs of true bits of
+// the squared run length — the numerator of the traceable rate (Eq. 1).
+func SumSquaredTrueRuns(bits []bool) int {
+	total := 0
+	for _, r := range Runs(bits) {
+		if r.Value {
+			total += r.Length * r.Length
+		}
+	}
+	return total
+}
+
+// Series is a named sequence of (x, y) points with optional
+// per-point confidence half-widths, the unit of figure output.
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+	CI   []float64 `json:"ci,omitempty"` // optional; nil or same length as Y
+}
+
+// Append adds a point to the series.
+func (s *Series) Append(x, y, ci float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.CI = append(s.CI, ci)
+}
+
+// Validate checks internal consistency.
+func (s *Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("stats: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	if s.CI != nil && len(s.CI) != len(s.Y) {
+		return fmt.Errorf("stats: series %q has %d CI values and %d y values", s.Name, len(s.CI), len(s.Y))
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Fatal("zero-value accumulator not empty")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 4*8/7.
+	want := 4.0 * 8 / 7
+	if math.Abs(a.Variance()-want) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", a.Variance(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Variance() != 0 || a.StdDev() != 0 {
+		t.Fatal("variance with one observation should be 0")
+	}
+	if a.Min() != 3 || a.Max() != 3 {
+		t.Fatal("min/max wrong for single observation")
+	}
+}
+
+func TestAccumulatorAddBool(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 10; i++ {
+		a.AddBool(i < 3)
+	}
+	if math.Abs(a.Mean()-0.3) > 1e-12 {
+		t.Fatalf("mean = %v, want 0.3", a.Mean())
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var a Accumulator
+		for _, v := range xs {
+			a.Add(v)
+		}
+		return math.Abs(a.Mean()-Mean(xs)) <= 1e-6*(1+math.Abs(Mean(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Accumulator
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 2))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(2)
+	if s := a.Summarize().String(); s == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if v := Quantile(xs, 0.25); v != 2 {
+		t.Fatalf("q25 = %v", v)
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF()
+	if e.At(10) != 0 {
+		t.Fatal("empty ECDF should be 0 everywhere")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		e.Observe(v)
+	}
+	e.ObserveCensored() // one never-delivered message
+	if e.N() != 5 {
+		t.Fatalf("N = %d", e.N())
+	}
+	cases := []struct{ t, want float64 }{
+		{0.5, 0}, {1, 0.2}, {2.5, 0.4}, {4, 0.8}, {100, 0.8},
+	}
+	for _, c := range cases {
+		if got := e.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestECDFObserveAfterQuery(t *testing.T) {
+	e := NewECDF()
+	e.Observe(2)
+	_ = e.At(1) // forces sort
+	e.Observe(1)
+	if got := e.At(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(1) after re-observe = %v, want 0.5", got)
+	}
+}
+
+func TestECDFCurveMonotone(t *testing.T) {
+	e := NewECDF()
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		e.Observe(v)
+	}
+	ts := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	curve := e.Curve(ts)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("ECDF not monotone at %v", ts[i])
+		}
+	}
+	if curve[len(curve)-1] != 1 {
+		t.Fatal("ECDF should reach 1 past the max")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if v := Entropy([]float64{0.5, 0.5}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("Entropy(fair coin) = %v", v)
+	}
+	if v := Entropy([]float64{1, 0, 0}); v != 0 {
+		t.Fatalf("Entropy(deterministic) = %v", v)
+	}
+	if v := Entropy([]float64{0.25, 0.25, 0.25, 0.25}); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("Entropy(4-uniform) = %v", v)
+	}
+}
+
+func TestEntropyPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative probability")
+		}
+	}()
+	Entropy([]float64{-0.1, 1.1})
+}
+
+func TestUniformEntropy(t *testing.T) {
+	if UniformEntropy(1) != 0 || UniformEntropy(0) != 0 {
+		t.Fatal("UniformEntropy of trivial sets should be 0")
+	}
+	if math.Abs(UniformEntropy(8)-3) > 1e-12 {
+		t.Fatalf("UniformEntropy(8) = %v", UniformEntropy(8))
+	}
+}
+
+func TestRuns(t *testing.T) {
+	cases := []struct {
+		bits []bool
+		want []Run
+	}{
+		{nil, nil},
+		{[]bool{true}, []Run{{true, 1}}},
+		{[]bool{true, true, false, true}, []Run{{true, 2}, {false, 1}, {true, 1}}},
+		{[]bool{false, false, false}, []Run{{false, 3}}},
+	}
+	for _, c := range cases {
+		got := Runs(c.bits)
+		if len(got) != len(c.want) {
+			t.Fatalf("Runs(%v) = %v, want %v", c.bits, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Runs(%v) = %v, want %v", c.bits, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRunsTotalLength(t *testing.T) {
+	f := func(bits []bool) bool {
+		total := 0
+		for _, r := range Runs(bits) {
+			if r.Length <= 0 {
+				return false
+			}
+			total += r.Length
+		}
+		return total == len(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsAlternate(t *testing.T) {
+	// Adjacent runs must alternate values.
+	f := func(bits []bool) bool {
+		rs := Runs(bits)
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Value == rs[i-1].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumSquaredTrueRuns(t *testing.T) {
+	// Paper's example: path 10010 -> runs of 1s: [1],[1] -> 1+1 = 2.
+	bits := []bool{true, false, false, true, false}
+	if got := SumSquaredTrueRuns(bits); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	// Paper's example: 01110 -> one run of 3 -> 9.
+	bits = []bool{false, true, true, true, false}
+	if got := SumSquaredTrueRuns(bits); got != 9 {
+		t.Fatalf("got %d, want 9", got)
+	}
+	// Paper Sec. II-C: compromising v1,v2,v4 on a 4-hop path gives
+	// bits 1101 -> 4+1 = 5 (traceable rate 5/16).
+	bits = []bool{true, true, false, true}
+	if got := SumSquaredTrueRuns(bits); got != 5 {
+		t.Fatalf("got %d, want 5", got)
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	s := &Series{Name: "a"}
+	s.Append(1, 2, 0.1)
+	s.Append(2, 3, 0.2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Series{Name: "b", X: []float64{1}, Y: []float64{1, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched series validated")
+	}
+	badCI := &Series{Name: "c", X: []float64{1}, Y: []float64{1}, CI: []float64{1, 2}}
+	if err := badCI.Validate(); err == nil {
+		t.Fatal("mismatched CI validated")
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i))
+	}
+}
+
+func BenchmarkSumSquaredTrueRuns(b *testing.B) {
+	bits := make([]bool, 64)
+	for i := range bits {
+		bits[i] = i%3 == 0
+	}
+	for i := 0; i < b.N; i++ {
+		_ = SumSquaredTrueRuns(bits)
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/contact"
+)
+
+// Preprocessing utilities mirroring what the paper does to the raw
+// CRAWDAD files: "we only consider the contacts between mobile
+// devices, i.e., iMotes, by excluding stationary nodes and external
+// devices" (Sec. V-A). Real haggle dumps include fixed base stations
+// and one-off external sightings; FilterNodes and Window carve out the
+// mobile sub-trace the experiments run on.
+
+// FilterNodes returns a new trace containing only contacts whose both
+// endpoints satisfy keep. Node IDs are re-compacted to [0, NodeCount).
+func (t *Trace) FilterNodes(keep func(contact.NodeID) bool) (*Trace, error) {
+	if keep == nil {
+		return nil, fmt.Errorf("trace: nil keep predicate")
+	}
+	remap := make(map[contact.NodeID]contact.NodeID)
+	next := contact.NodeID(0)
+	mapped := func(v contact.NodeID) contact.NodeID {
+		id, ok := remap[v]
+		if !ok {
+			id = next
+			remap[v] = id
+			next++
+		}
+		return id
+	}
+	out := &Trace{}
+	for _, c := range t.Contacts {
+		if !keep(c.A) || !keep(c.B) {
+			continue
+		}
+		out.Contacts = append(out.Contacts, Contact{
+			A: mapped(c.A), B: mapped(c.B), Start: c.Start, End: c.End,
+		})
+	}
+	if len(out.Contacts) == 0 {
+		return nil, fmt.Errorf("trace: filter removed every contact")
+	}
+	out.NodeCount = int(next)
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MinContacts returns a predicate keeping only nodes that appear in at
+// least min contacts — the standard way to drop external devices that
+// were sighted a handful of times.
+func (t *Trace) MinContacts(min int) func(contact.NodeID) bool {
+	counts := make(map[contact.NodeID]int, t.NodeCount)
+	for _, c := range t.Contacts {
+		counts[c.A]++
+		counts[c.B]++
+	}
+	return func(v contact.NodeID) bool { return counts[v] >= min }
+}
+
+// Window returns a new trace restricted to contacts starting in
+// [from, to), with times shifted so the window starts at zero. Node
+// IDs are preserved (not compacted): the population is unchanged.
+func (t *Trace) Window(from, to float64) (*Trace, error) {
+	if to <= from {
+		return nil, fmt.Errorf("trace: empty window [%v, %v)", from, to)
+	}
+	out := &Trace{NodeCount: t.NodeCount}
+	for _, c := range t.Contacts {
+		if c.Start < from || c.Start >= to {
+			continue
+		}
+		out.Contacts = append(out.Contacts, Contact{
+			A: c.A, B: c.B, Start: c.Start - from, End: c.End - from,
+		})
+	}
+	if len(out.Contacts) == 0 {
+		return nil, fmt.Errorf("trace: no contacts in window [%v, %v)", from, to)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Merge combines two traces over the same population into one
+// chronologically sorted trace.
+func Merge(a, b *Trace) (*Trace, error) {
+	if a.NodeCount != b.NodeCount {
+		return nil, fmt.Errorf("trace: merging populations of %d and %d nodes", a.NodeCount, b.NodeCount)
+	}
+	out := &Trace{NodeCount: a.NodeCount}
+	out.Contacts = append(out.Contacts, a.Contacts...)
+	out.Contacts = append(out.Contacts, b.Contacts...)
+	out.SortByStart()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/rng"
+)
+
+func filterFixture() *Trace {
+	return &Trace{NodeCount: 5, Contacts: []Contact{
+		{A: 0, B: 1, Start: 0, End: 1},
+		{A: 0, B: 4, Start: 5, End: 6}, // 4 = "stationary"
+		{A: 1, B: 2, Start: 10, End: 11},
+		{A: 2, B: 4, Start: 15, End: 16}, // stationary again
+		{A: 0, B: 1, Start: 20, End: 21},
+	}}
+}
+
+func TestFilterNodesExcludesAndCompacts(t *testing.T) {
+	tr := filterFixture()
+	out, err := tr.FilterNodes(func(v contact.NodeID) bool { return v != 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NodeCount != 3 {
+		t.Fatalf("NodeCount = %d, want 3 (compacted)", out.NodeCount)
+	}
+	if len(out.Contacts) != 3 {
+		t.Fatalf("contacts = %d, want 3", len(out.Contacts))
+	}
+	for _, c := range out.Contacts {
+		if int(c.A) >= 3 || int(c.B) >= 3 {
+			t.Fatalf("uncompacted id in %+v", c)
+		}
+	}
+}
+
+func TestFilterNodesErrors(t *testing.T) {
+	tr := filterFixture()
+	if _, err := tr.FilterNodes(nil); err == nil {
+		t.Fatal("accepted nil predicate")
+	}
+	if _, err := tr.FilterNodes(func(contact.NodeID) bool { return false }); err == nil {
+		t.Fatal("accepted empty result")
+	}
+}
+
+func TestMinContactsPredicate(t *testing.T) {
+	tr := filterFixture()
+	keep := tr.MinContacts(3)
+	// Node 0 and 1 appear 3 times; node 2 twice; node 4 twice; node 3
+	// never.
+	if !keep(0) || !keep(1) {
+		t.Fatal("frequent nodes dropped")
+	}
+	if keep(2) || keep(4) || keep(3) {
+		t.Fatal("infrequent nodes kept")
+	}
+	// Chaining: filter to the mobile, well-observed population.
+	out, err := tr.FilterNodes(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NodeCount != 2 || len(out.Contacts) != 2 {
+		t.Fatalf("filtered trace: %d nodes, %d contacts", out.NodeCount, len(out.Contacts))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := filterFixture()
+	out, err := tr.Window(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Contacts) != 3 {
+		t.Fatalf("contacts = %d, want 3", len(out.Contacts))
+	}
+	if out.Contacts[0].Start != 0 { // shifted
+		t.Fatalf("window not shifted: %v", out.Contacts[0].Start)
+	}
+	if out.NodeCount != 5 {
+		t.Fatal("window should preserve the population")
+	}
+	if _, err := tr.Window(10, 10); err == nil {
+		t.Fatal("accepted empty window")
+	}
+	if _, err := tr.Window(1000, 2000); err == nil {
+		t.Fatal("accepted contactless window")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{NodeCount: 3, Contacts: []Contact{{A: 0, B: 1, Start: 5, End: 5}}}
+	b := &Trace{NodeCount: 3, Contacts: []Contact{{A: 1, B: 2, Start: 1, End: 1}}}
+	out, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Contacts) != 2 || out.Contacts[0].Start != 1 {
+		t.Fatalf("merge wrong: %+v", out.Contacts)
+	}
+	c := &Trace{NodeCount: 4}
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("merged different populations")
+	}
+}
+
+func TestFilterPipelineOnSynthetic(t *testing.T) {
+	// Realistic use: drop the least-connected third of an Infocom-like
+	// trace's nodes and verify the result still routes.
+	tr, err := GenerateInfocom(rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a data-driven threshold: strictly above the minimum per-node
+	// contact count, so at least one node is dropped and most are kept.
+	counts := map[contact.NodeID]int{}
+	for _, c := range tr.Contacts {
+		counts[c.A]++
+		counts[c.B]++
+	}
+	minCount := 1 << 30
+	for _, c := range counts {
+		if c < minCount {
+			minCount = c
+		}
+	}
+	out, err := tr.FilterNodes(tr.MinContacts(minCount + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NodeCount == 0 || out.NodeCount >= tr.NodeCount {
+		t.Fatalf("filter kept %d of %d nodes", out.NodeCount, tr.NodeCount)
+	}
+	if _, err := out.EstimateRates(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseReader feeds arbitrary text to the trace parser: it must
+// never panic, and anything it accepts must validate and survive a
+// write/parse round trip.
+func FuzzParseReader(f *testing.F) {
+	f.Add("1 2 0 1\n2 3 5 6\n")
+	f.Add("# comment\n\n0 1 1.5 2.5\n")
+	f.Add("x y z w\n")
+	f.Add("1 1 0 0\n")
+	f.Add("9999999 2 1e300 1e301\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseReader(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted trace fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if _, werr := tr.WriteTo(&buf); werr != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", werr)
+		}
+		tr2, rerr := ParseReader(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v", rerr)
+		}
+		if tr2.NodeCount != tr.NodeCount || len(tr2.Contacts) != len(tr.Contacts) {
+			t.Fatal("round trip changed the trace shape")
+		}
+	})
+}
+
+// FuzzReadGraphViaTrace exercises the graph estimator on fuzzed
+// traces.
+func FuzzEstimateRates(f *testing.F) {
+	f.Add("0 1 0 1\n0 1 10 11\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseReader(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		g, err := tr.EstimateRates()
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("estimated graph invalid: %v", verr)
+		}
+	})
+}

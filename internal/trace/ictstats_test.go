@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestICTOf(t *testing.T) {
+	tr := &Trace{NodeCount: 3, Contacts: []Contact{
+		{A: 0, B: 1, Start: 10, End: 10},
+		{A: 1, B: 0, Start: 25, End: 25}, // reversed pair order
+		{A: 0, B: 1, Start: 65, End: 65},
+		{A: 0, B: 2, Start: 100, End: 100},
+	}}
+	gaps := tr.ICTOf(0, 1)
+	if len(gaps) != 2 || gaps[0] != 15 || gaps[1] != 40 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if tr.ICTOf(0, 2) != nil {
+		t.Fatal("single contact should yield no gaps")
+	}
+	if tr.ICTOf(1, 2) != nil {
+		t.Fatal("never-meeting pair should yield no gaps")
+	}
+}
+
+func TestSummarizeICT(t *testing.T) {
+	tr := &Trace{NodeCount: 2, Contacts: []Contact{
+		{A: 0, B: 1, Start: 0, End: 0},
+		{A: 0, B: 1, Start: 10, End: 10},
+		{A: 0, B: 1, Start: 30, End: 30},
+	}}
+	st, err := tr.SummarizeICT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 2 || math.Abs(st.Mean-15) > 1e-12 || st.Max != 20 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestSummarizeICTErrors(t *testing.T) {
+	tr := &Trace{NodeCount: 2, Contacts: []Contact{{A: 0, B: 1, Start: 5, End: 5}}}
+	if _, err := tr.SummarizeICT(); err == nil {
+		t.Fatal("accepted trace with no repeated pair")
+	}
+	if _, err := tr.SessionICTStats(0); err == nil {
+		t.Fatal("accepted non-positive session gap")
+	}
+}
+
+// TestSyntheticTracesExponentialWithinSessions validates the generator
+// against the paper's network model: within activity sessions the
+// inter-contact times are exponential (CV ~ 1), while the pooled
+// marginal is heavier-tailed because of the diurnal gaps — the exact
+// structure the paper blames for the Infocom model gap (Sec. V-E).
+func TestSyntheticTracesExponentialWithinSessions(t *testing.T) {
+	tr, err := GenerateCambridge(rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within sessions: gaps below one hour are within the business day.
+	within, err := tr.SessionICTStats(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within.CV < 0.7 || within.CV > 1.3 {
+		t.Fatalf("within-session CV = %v, want ~1 (exponential)", within.CV)
+	}
+	// Pooled marginal includes overnight silences: heavier tailed.
+	pooled, err := tr.SummarizeICT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.CV <= within.CV {
+		t.Fatalf("pooled CV %v not above within-session CV %v", pooled.CV, within.CV)
+	}
+	if pooled.Max < 12*3600 {
+		t.Fatalf("pooled max gap %v s misses the overnight silence", pooled.Max)
+	}
+}
+
+func TestInfocomSessionStructureVisibleInICT(t *testing.T) {
+	tr, err := GenerateInfocom(rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err := tr.SessionICTStats(480) // inside an 8-minute burst
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := tr.SummarizeICT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst contacts are dense (mean well under the burst length);
+	// the pooled mean is dominated by inter-burst breaks.
+	if within.Mean >= 480 {
+		t.Fatalf("within-burst mean %v too large", within.Mean)
+	}
+	if pooled.Mean < 4*within.Mean {
+		t.Fatalf("pooled mean %v vs within %v: session breaks not visible", pooled.Mean, within.Mean)
+	}
+}

@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/rng"
+)
+
+func TestParseReaderBasic(t *testing.T) {
+	in := `# a comment
+
+3 7 10.5 12
+7 3 20 25
+3 9 5 6
+`
+	tr, err := ParseReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount != 3 {
+		t.Fatalf("NodeCount = %d, want 3 (compacted)", tr.NodeCount)
+	}
+	if len(tr.Contacts) != 3 {
+		t.Fatalf("contacts = %d", len(tr.Contacts))
+	}
+	// Sorted by start: 5, 10.5, 20.
+	if tr.Contacts[0].Start != 5 || tr.Contacts[2].Start != 20 {
+		t.Fatalf("not sorted: %+v", tr.Contacts)
+	}
+	// IDs compacted: 3->0, 7->1, 9->2.
+	first := tr.Contacts[0]
+	if first.A != 0 || first.B != 2 {
+		t.Fatalf("remap wrong: %+v", first)
+	}
+}
+
+func TestParseReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "1 2 3\n",
+		"bad node":       "x 2 3 4\n",
+		"bad start":      "1 2 x 4\n",
+		"bad end":        "1 2 3 x\n",
+		"self contact":   "2 2 3 4\n",
+		"negative id":    "-1 2 3 4\n",
+		"end < start":    "1 2 5 4\n",
+		"empty":          "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseReader(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := &Trace{NodeCount: 4, Contacts: []Contact{
+		{A: 0, B: 1, Start: 1, End: 2},
+		{A: 2, B: 3, Start: 3.5, End: 3.5},
+		{A: 1, B: 3, Start: 10, End: 12.25},
+	}}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCount != 4 || len(got.Contacts) != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range tr.Contacts {
+		if got.Contacts[i] != tr.Contacts[i] {
+			t.Fatalf("contact %d: got %+v want %+v", i, got.Contacts[i], tr.Contacts[i])
+		}
+	}
+}
+
+func TestValidateCatchesDisorder(t *testing.T) {
+	tr := &Trace{NodeCount: 3, Contacts: []Contact{
+		{A: 0, B: 1, Start: 5, End: 6},
+		{A: 0, B: 2, Start: 1, End: 2},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("unsorted trace validated")
+	}
+	tr.SortByStart()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	bad := []*Trace{
+		{NodeCount: 0},
+		{NodeCount: 2, Contacts: []Contact{{A: 0, B: 5, Start: 1, End: 2}}},
+		{NodeCount: 2, Contacts: []Contact{{A: 0, B: 0, Start: 1, End: 2}}},
+		{NodeCount: 2, Contacts: []Contact{{A: 0, B: 1, Start: -1, End: 2}}},
+		{NodeCount: 2, Contacts: []Contact{{A: 0, B: 1, Start: 3, End: 2}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestEstimateRates(t *testing.T) {
+	tr := &Trace{NodeCount: 3, Contacts: []Contact{
+		{A: 0, B: 1, Start: 0, End: 0},
+		{A: 0, B: 1, Start: 50, End: 50},
+		{A: 1, B: 0, Start: 75, End: 75}, // reversed order, same pair
+		{A: 1, B: 2, Start: 100, End: 100},
+	}}
+	g, err := tr.EstimateRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duration = 100 s; pair (0,1) met 3 times -> 0.03; (1,2) once -> 0.01.
+	if math.Abs(g.Rate(0, 1)-0.03) > 1e-12 {
+		t.Fatalf("rate(0,1) = %v", g.Rate(0, 1))
+	}
+	if math.Abs(g.Rate(1, 2)-0.01) > 1e-12 {
+		t.Fatalf("rate(1,2) = %v", g.Rate(1, 2))
+	}
+	if g.Rate(0, 2) != 0 {
+		t.Fatalf("rate(0,2) = %v, want 0", g.Rate(0, 2))
+	}
+}
+
+func TestEstimateRatesZeroDuration(t *testing.T) {
+	tr := &Trace{NodeCount: 2, Contacts: []Contact{{A: 0, B: 1, Start: 0, End: 0}}}
+	if _, err := tr.EstimateRates(); err == nil {
+		t.Fatal("expected error for zero-duration trace")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{NodeCount: 4, Contacts: []Contact{
+		{A: 0, B: 1, Start: 0, End: 0},
+		{A: 0, B: 1, Start: 10, End: 10},
+		{A: 2, B: 3, Start: 20, End: 20},
+	}}
+	st := tr.Summarize()
+	if st.Nodes != 4 || st.Contacts != 3 || st.ActivePairs != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if math.Abs(st.PairDensity-2.0/6.0) > 1e-12 {
+		t.Fatalf("density = %v", st.PairDensity)
+	}
+	if math.Abs(st.ContactsPerPair-1.5) > 1e-12 {
+		t.Fatalf("contacts/pair = %v", st.ContactsPerPair)
+	}
+}
+
+func TestContactsOf(t *testing.T) {
+	tr := &Trace{NodeCount: 3, Contacts: []Contact{
+		{A: 0, B: 1, Start: 0, End: 0},
+		{A: 1, B: 2, Start: 1, End: 1},
+		{A: 0, B: 2, Start: 2, End: 2},
+	}}
+	got := tr.ContactsOf(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ContactsOf(1) = %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateCambridge(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCambridge(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Contacts), len(b.Contacts))
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestGenerateCambridgeShape(t *testing.T) {
+	tr, err := GenerateCambridge(rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Summarize()
+	if st.Nodes != 12 {
+		t.Fatalf("nodes = %d, want 12", st.Nodes)
+	}
+	if st.PairDensity != 1 {
+		t.Fatalf("Cambridge should be fully dense, got %v", st.PairDensity)
+	}
+	// Multi-day span.
+	if tr.Duration() < 4*24*3600 {
+		t.Fatalf("duration %v too short for 5 days", tr.Duration())
+	}
+	// Dense: each active pair meets many times.
+	if st.ContactsPerPair < 50 {
+		t.Fatalf("contacts per pair %v too sparse for Cambridge", st.ContactsPerPair)
+	}
+}
+
+func TestGenerateInfocomShape(t *testing.T) {
+	tr, err := GenerateInfocom(rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Summarize()
+	if st.Nodes != 41 {
+		t.Fatalf("nodes = %d, want 41", st.Nodes)
+	}
+	if st.PairDensity >= 1 || st.PairDensity < 0.3 {
+		t.Fatalf("Infocom density %v outside medium band", st.PairDensity)
+	}
+}
+
+func TestGenerateRespectsDiurnalWindows(t *testing.T) {
+	cfg := CambridgeConfig()
+	tr, err := Generate(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const daySec = 24 * 3600.0
+	for _, c := range tr.Contacts {
+		hour := math.Mod(c.Start, daySec) / 3600
+		if hour < cfg.DayStartHour || hour > cfg.DayEndHour {
+			t.Fatalf("contact at hour %v outside [%v,%v]", hour, cfg.DayStartHour, cfg.DayEndHour)
+		}
+	}
+}
+
+func TestGenerateInfocomHasSilentGaps(t *testing.T) {
+	// The session/break structure must leave long silent periods inside
+	// the day — the cause of the Fig. 17 plateau.
+	tr, err := GenerateInfocom(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := InfocomConfig()
+	var maxGapInDay float64
+	for i := 1; i < len(tr.Contacts); i++ {
+		gap := tr.Contacts[i].Start - tr.Contacts[i-1].Start
+		// Only gaps within the same day's activity window count.
+		const daySec = 24 * 3600.0
+		if math.Floor(tr.Contacts[i].Start/daySec) == math.Floor(tr.Contacts[i-1].Start/daySec) {
+			maxGapInDay = math.Max(maxGapInDay, gap)
+		}
+	}
+	if maxGapInDay < cfg.BreakMinutes*60*0.8 {
+		t.Fatalf("max intra-day gap %v s, want silent breaks of ~%v s", maxGapInDay, cfg.BreakMinutes*60)
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	bad := []DiurnalConfig{
+		{},
+		{Nodes: 1, Days: 1, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 60, MeanICT: 100, PairProb: 1},
+		{Nodes: 5, Days: 0, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 60, MeanICT: 100, PairProb: 1},
+		{Nodes: 5, Days: 1, DayStartHour: 17, DayEndHour: 9, SessionMinutes: 60, MeanICT: 100, PairProb: 1},
+		{Nodes: 5, Days: 1, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 0, MeanICT: 100, PairProb: 1},
+		{Nodes: 5, Days: 1, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 60, MeanICT: 0, PairProb: 1},
+		{Nodes: 5, Days: 1, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 60, MeanICT: 100, PairProb: 0},
+		{Nodes: 5, Days: 1, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 60, MeanICT: 100, PairProb: 1.5},
+		{Nodes: 5, Days: 1, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 60, BreakMinutes: -1, MeanICT: 100, PairProb: 1},
+		{Nodes: 5, Days: 1, DayStartHour: 9, DayEndHour: 17, SessionMinutes: 60, MeanICT: 100, ContactSeconds: -1, PairProb: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestEstimateRatesFromGeneratedTrace(t *testing.T) {
+	tr, err := GenerateCambridge(rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tr.EstimateRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("graph nodes = %d", g.N())
+	}
+	// Dense trace: every pair has positive estimated rate.
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if g.Rate(contact.NodeID(i), contact.NodeID(j)) <= 0 {
+				t.Fatalf("pair (%d,%d) has zero estimated rate", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkGenerateCambridge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = GenerateCambridge(rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	tr, err := GenerateCambridge(rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseReader(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
