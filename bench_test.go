@@ -9,9 +9,12 @@ import (
 // benchOptions keeps one figure generation per benchmark iteration at
 // a tractable cost while still exercising the full pipeline. Run with
 // larger -benchtime (or cmd/figures with bigger run counts) for
-// publication-quality curves.
+// publication-quality curves. Workers is left at 0 (GOMAXPROCS) so
+// `go test -bench Fig04 -cpu 1,4` measures the sequential-vs-parallel
+// trial fan-out directly; the figures produced are byte-identical at
+// every -cpu value.
 func benchOptions() experiment.Options {
-	return experiment.Options{Seed: 1, Runs: 120, SecurityRuns: 800, TraceRuns: 25}
+	return experiment.Options{Seed: 1, Runs: 120, SecurityRuns: 800, TraceRuns: 25, Workers: 0}
 }
 
 // benchFigure generates the figure once per iteration and sanity

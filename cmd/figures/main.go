@@ -35,6 +35,7 @@ func run(args []string, out *os.File) error {
 		securityRuns = fs.Int("security-runs", 0, "sampled paths per security point (0 = default)")
 		traceRuns    = fs.Int("trace-runs", 0, "routed messages per trace figure (0 = default)")
 		seed         = fs.Uint64("seed", 1, "root random seed")
+		workers      = fs.Int("workers", 0, "concurrent trial workers per figure (0 = GOMAXPROCS); output is identical for any value")
 		noPlot       = fs.Bool("no-plot", false, "suppress ASCII plots")
 		jsonOut      = fs.Bool("json", false, "also write .json files when -out is set")
 		parallel     = fs.Int("parallel", 1, "figures generated concurrently")
@@ -56,6 +57,10 @@ func run(args []string, out *os.File) error {
 	if *traceRuns > 0 {
 		opt.TraceRuns = *traceRuns
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
+	}
+	opt.Workers = *workers
 
 	reg, ids := experiment.Registry()
 	ablReg, ablIDs := experiment.AblationRegistry()

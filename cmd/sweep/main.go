@@ -22,6 +22,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/stats"
 )
 
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		compromised = fs.Float64("compromised", 0.1, "compromised fraction c/n (when not swept)")
 		runs        = fs.Int("runs", 400, "routed messages per point")
 		seed        = fs.Uint64("seed", 1, "root random seed")
+		workers     = fs.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS); output is identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +67,9 @@ func run(args []string, out io.Writer) error {
 	values, err := parseValues(*valuesRaw)
 	if err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
 	}
 
 	var points []point
@@ -88,7 +93,7 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown parameter %q (want g, K, L, c, or T)", *param)
 		}
-		p, err := evaluate(cfg, dl, frac, *runs, v)
+		p, err := evaluate(cfg, dl, frac, *runs, *workers, v)
 		if err != nil {
 			return fmt.Errorf("%s=%v: %w", *param, v, err)
 		}
@@ -125,7 +130,7 @@ func parseValues(raw string) ([]float64, error) {
 	return out, nil
 }
 
-func evaluate(cfg core.Config, deadline, frac float64, runs int, v float64) (point, error) {
+func evaluate(cfg core.Config, deadline, frac float64, runs, workers int, v float64) (point, error) {
 	nw, err := core.NewNetwork(cfg)
 	if err != nil {
 		return point{}, err
@@ -135,32 +140,48 @@ func evaluate(cfg core.Config, deadline, frac float64, runs int, v float64) (poi
 		modTrace: nw.ModelTraceableRate(frac),
 		modAnon:  nw.ModelPathAnonymity(frac),
 	}
-	var delivered int
-	var model, tx, tr, an stats.Accumulator
-	for i := 0; i < runs; i++ {
+	type trialOut struct {
+		delivered              bool
+		model, tx, trace, anon float64
+	}
+	trials, err := experiment.MapTrials(workers, runs, func(i int) (trialOut, error) {
 		trial, err := nw.NewTrial(i)
 		if err != nil {
-			return point{}, err
+			return trialOut{}, err
 		}
 		res, err := nw.Route(trial, deadline, true, i)
 		if err != nil {
-			return point{}, err
-		}
-		if res.Delivered {
-			delivered++
+			return trialOut{}, err
 		}
 		m, err := nw.ModelDelivery(trial, deadline)
 		if err != nil {
-			return point{}, err
+			return trialOut{}, err
 		}
-		model.Add(m)
-		tx.Add(float64(res.Transmissions))
 		sec, err := nw.FastSecurityTrial(frac, i)
 		if err != nil {
-			return point{}, err
+			return trialOut{}, err
 		}
-		tr.Add(sec.TraceableRate)
-		an.Add(sec.PathAnonymity)
+		return trialOut{
+			delivered: res.Delivered,
+			model:     m,
+			tx:        float64(res.Transmissions),
+			trace:     sec.TraceableRate,
+			anon:      sec.PathAnonymity,
+		}, nil
+	})
+	if err != nil {
+		return point{}, err
+	}
+	var delivered int
+	var model, tx, tr, an stats.Accumulator
+	for _, to := range trials {
+		if to.delivered {
+			delivered++
+		}
+		model.Add(to.model)
+		tx.Add(to.tx)
+		tr.Add(to.trace)
+		an.Add(to.anon)
 	}
 	p.simDelivery = float64(delivered) / float64(runs)
 	p.modDelivery = model.Mean()

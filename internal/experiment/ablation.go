@@ -62,23 +62,32 @@ func AblationSpray(opt Options) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ecdf := stats.NewECDF()
-		var tx stats.Accumulator
-		for i := 0; i < opt.Runs; i++ {
+		type sprayTrial struct {
+			ok, delivered bool
+			time, tx      float64
+		}
+		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (sprayTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
-				continue
+				return sprayTrial{}, nil
 			}
 			res, err := nw.Route(trial, deadlines[len(deadlines)-1], true, i)
 			if err != nil {
-				return nil, err
+				return sprayTrial{}, err
 			}
-			if res.Delivered {
-				ecdf.Observe(res.Time)
-			} else {
-				ecdf.ObserveCensored()
+			return sprayTrial{ok: true, delivered: res.Delivered, time: res.Time, tx: float64(res.Transmissions)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ecdf := stats.NewECDF()
+		var tx stats.Accumulator
+		for _, st := range trials {
+			if !st.ok {
+				continue
 			}
-			tx.Add(float64(res.Transmissions))
+			observe(ecdf, st.delivered, st.time)
+			tx.Add(st.tx)
 		}
 		s := stats.Series{Name: name}
 		n := float64(ecdf.N())
@@ -114,14 +123,23 @@ func AblationTraceableModel(opt Options) (*Figure, error) {
 	for fi, frac := range fracs {
 		exact.Append(frac, model.TraceableRate(eta, frac), 0)
 		approx.Append(frac, model.TraceableRatePaperApprox(eta, frac), 0)
-		var acc stats.Accumulator
-		s := root.SplitN("mc", fi)
-		bits := make([]bool, eta)
-		for i := 0; i < opt.SecurityRuns; i++ {
+		// One index-labeled substream per sample (not one shared stream
+		// per point) so the Monte Carlo column is worker-count
+		// invariant.
+		vals, err := MapTrials(opt.Workers, opt.SecurityRuns, func(i int) (float64, error) {
+			s := root.SplitN("mc", fi*1000003+i)
+			bits := make([]bool, eta)
 			for b := range bits {
 				bits[b] = s.Bernoulli(frac)
 			}
-			acc.Add(model.TraceableRateOfPath(bits))
+			return model.TraceableRateOfPath(bits), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var acc stats.Accumulator
+		for _, v := range vals {
+			acc.Add(v)
 		}
 		mc.Append(frac, acc.Mean(), acc.CI95())
 	}
@@ -151,9 +169,11 @@ func AblationTPS(opt Options) (*Figure, error) {
 	deadlines := deliveryDeadlines()
 	maxT := deadlines[len(deadlines)-1]
 
-	onion3ECDF, onion10ECDF, tpsECDF := stats.NewECDF(), stats.NewECDF(), stats.NewECDF()
-	var onionTx, tpsTx stats.Accumulator
-	for i := 0; i < opt.Runs; i++ {
+	type tpsTrial struct {
+		onion3, onion10, tps obsPoint
+		onionTx, tpsTx       float64
+	}
+	trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (tpsTrial, error) {
 		s := root.SplitN("run", i)
 		src := contact.NodeID(s.IntN(n))
 		dst := contact.NodeID(s.PickOther(n, int(src)))
@@ -180,29 +200,44 @@ func AblationTPS(opt Options) (*Figure, error) {
 		sets3 := makeSets(3, map[contact.NodeID]bool{src: true, dst: true, pivot: true})
 		sets10 := makeSets(10, map[contact.NodeID]bool{src: true, dst: true})
 
+		var out tpsTrial
 		or3, err := routing.SampleOnion(g, routing.Params{Src: src, Dst: dst, Sets: sets3, Copies: 1}, maxT, s.Split("onion3"))
 		if err != nil {
-			return nil, err
+			return tpsTrial{}, err
 		}
-		observe(onion3ECDF, or3.Delivered, or3.Time)
-		onionTx.Add(float64(or3.Transmissions))
+		out.onion3 = obsPoint{or3.Delivered, or3.Time}
+		out.onionTx = float64(or3.Transmissions)
 
 		or10, err := routing.SampleOnion(g, routing.Params{Src: src, Dst: dst, Sets: sets10, Copies: 1}, maxT, s.Split("onion10"))
 		if err != nil {
-			return nil, err
+			return tpsTrial{}, err
 		}
-		observe(onion10ECDF, or10.Delivered, or10.Time)
+		out.onion10 = obsPoint{or10.Delivered, or10.Time}
 
 		tp, err := routing.NewTPS(routing.TPSParams{
 			Src: src, Dst: dst, Pivot: pivot, Sets: sets3, Threshold: 2,
 		})
 		if err != nil {
-			return nil, err
+			return tpsTrial{}, err
 		}
 		sim.RunSynthetic(g, maxT, s.Split("tps"), tp)
 		tr := tp.Result()
-		observe(tpsECDF, tr.Delivered, tr.Time)
-		tpsTx.Add(float64(tr.Transmissions))
+		out.tps = obsPoint{tr.Delivered, tr.Time}
+		out.tpsTx = float64(tr.Transmissions)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	onion3ECDF, onion10ECDF, tpsECDF := stats.NewECDF(), stats.NewECDF(), stats.NewECDF()
+	var onionTx, tpsTx stats.Accumulator
+	for _, tt := range trials {
+		observe(onion3ECDF, tt.onion3.delivered, tt.onion3.t)
+		onionTx.Add(tt.onionTx)
+		observe(onion10ECDF, tt.onion10.delivered, tt.onion10.t)
+		observe(tpsECDF, tt.tps.delivered, tt.tps.t)
+		tpsTx.Add(tt.tpsTx)
 	}
 
 	onion3 := stats.Series{Name: "Onion groups (K=3)"}
@@ -223,6 +258,13 @@ func AblationTPS(opt Options) (*Figure, error) {
 			"TPS reveals the destination to the pivot (Sec. VI-C); onion groups never do",
 		},
 	}, nil
+}
+
+// obsPoint is one simulated delivery observation awaiting in-order
+// aggregation into an ECDF.
+type obsPoint struct {
+	delivered bool
+	t         float64
 }
 
 func observe(e *stats.ECDF, delivered bool, t float64) {
@@ -260,12 +302,14 @@ func AblationModelGap(opt Options) (*Figure, error) {
 		// Deadline scaled to twice the corrected model's mean traversal
 		// so every spread is compared at the same relative operating
 		// point.
-		var paperAcc, corrAcc stats.Accumulator
-		delivered, total := 0, 0
-		for i := 0; i < opt.Runs; i++ {
+		type gapTrial struct {
+			ok, delivered bool
+			paper, corr   float64
+		}
+		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (gapTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
-				continue
+				return gapTrial{}, nil
 			}
 			corrected := append([]float64(nil), trial.Rates...)
 			lastGroup := trial.Sets[len(trial.Sets)-1]
@@ -278,19 +322,30 @@ func AblationModelGap(opt Options) (*Figure, error) {
 
 			m, err := nw.ModelDelivery(trial, deadline)
 			if err != nil {
-				return nil, err
+				return gapTrial{}, err
 			}
-			paperAcc.Add(m)
 			mc, err := model.DeliveryRate(corrected, deadline)
 			if err != nil {
-				return nil, err
+				return gapTrial{}, err
 			}
-			corrAcc.Add(mc)
 			res, err := nw.Route(trial, deadline, false, i)
 			if err != nil {
-				return nil, err
+				return gapTrial{}, err
 			}
-			if res.Delivered {
+			return gapTrial{ok: true, delivered: res.Delivered, paper: m, corr: mc}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var paperAcc, corrAcc stats.Accumulator
+		delivered, total := 0, 0
+		for _, gt := range trials {
+			if !gt.ok {
+				continue
+			}
+			paperAcc.Add(gt.paper)
+			corrAcc.Add(gt.corr)
+			if gt.delivered {
 				delivered++
 			}
 			total++

@@ -53,55 +53,70 @@ func AblationBaselines(opt Options) (*Figure, error) {
 		"PRoPHET",
 		"Direct delivery",
 	}
-	ecdfs := make([]*stats.ECDF, len(names))
-	txs := make([]stats.Accumulator, len(names))
-	for i := range ecdfs {
-		ecdfs[i] = stats.NewECDF()
+	type baselineTrial struct {
+		obs [6]obsPoint
+		tx  [6]float64
 	}
-
-	for i := 0; i < opt.Runs; i++ {
+	trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (baselineTrial, error) {
 		s := root.SplitN("run", i)
 		src := contact.NodeID(s.IntN(n))
 		dst := contact.NodeID(s.PickOther(n, int(src)))
 
+		var bt baselineTrial
 		// Onion lines use the direct sampler (statistically identical
 		// to the engine; see the KS cross-check).
 		for oi, nw := range []*core.Network{onionNet, onionNet3} {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
-				return nil, err
+				return baselineTrial{}, err
 			}
 			res, err := nw.Route(trial, maxT, false, i)
 			if err != nil {
-				return nil, err
+				return baselineTrial{}, err
 			}
-			observe(ecdfs[oi], res.Delivered, res.Time)
-			txs[oi].Add(float64(res.Transmissions))
+			bt.obs[oi] = obsPoint{res.Delivered, res.Time}
+			bt.tx[oi] = float64(res.Transmissions)
 		}
 
 		// Engine-driven baselines share one identical contact stream.
 		epi, err := routing.NewEpidemic(src, dst, 0)
 		if err != nil {
-			return nil, err
+			return baselineTrial{}, err
 		}
 		bin, err := routing.NewBinarySprayAndWait(src, dst, copies, 0)
 		if err != nil {
-			return nil, err
+			return baselineTrial{}, err
 		}
 		pro, err := routing.NewProphet(n, src, dst, 0, routing.ProphetConfig{})
 		if err != nil {
-			return nil, err
+			return baselineTrial{}, err
 		}
 		dir, err := routing.NewDirect(src, dst, 0)
 		if err != nil {
-			return nil, err
+			return baselineTrial{}, err
 		}
 		sim.RunSynthetic(g, maxT, s.Split("contacts"), sim.Fanout{epi, bin, pro, dir})
 		for bi, r := range []routing.BaselineResult{
 			epi.Result(), bin.Result(), pro.Result(), dir.Result(),
 		} {
-			observe(ecdfs[2+bi], r.Delivered, r.Time)
-			txs[2+bi].Add(float64(r.Transmissions))
+			bt.obs[2+bi] = obsPoint{r.Delivered, r.Time}
+			bt.tx[2+bi] = float64(r.Transmissions)
+		}
+		return bt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ecdfs := make([]*stats.ECDF, len(names))
+	txs := make([]stats.Accumulator, len(names))
+	for i := range ecdfs {
+		ecdfs[i] = stats.NewECDF()
+	}
+	for _, bt := range trials {
+		for bi := range names {
+			observe(ecdfs[bi], bt.obs[bi].delivered, bt.obs[bi].t)
+			txs[bi].Add(bt.tx[bi])
 		}
 	}
 

@@ -25,6 +25,7 @@ type Options struct {
 	Runs         int // routed messages per delivery/cost point
 	SecurityRuns int // sampled paths per security point
 	TraceRuns    int // routed messages per trace figure (paper: 50)
+	Workers      int // concurrent trial workers (0 = GOMAXPROCS); figures are byte-identical for any value
 }
 
 // DefaultOptions returns a balanced effort level.
@@ -35,6 +36,9 @@ func DefaultOptions() Options {
 func (o Options) validate() error {
 	if o.Runs < 1 || o.SecurityRuns < 1 || o.TraceRuns < 1 {
 		return fmt.Errorf("experiment: run counts must be positive: %+v", o)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiment: workers must be non-negative (0 = GOMAXPROCS): %+v", o)
 	}
 	return nil
 }

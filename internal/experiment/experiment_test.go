@@ -25,6 +25,19 @@ func TestOptionsValidate(t *testing.T) {
 	if _, err := Fig04(bad); err == nil {
 		t.Fatal("generator accepted invalid options")
 	}
+	negWorkers := Options{Seed: 1, Runs: 1, SecurityRuns: 1, TraceRuns: 1, Workers: -1}
+	if err := negWorkers.validate(); err == nil {
+		t.Fatal("accepted negative workers")
+	}
+	if _, err := Fig04(negWorkers); err == nil {
+		t.Fatal("generator accepted negative workers")
+	}
+	for _, w := range []int{0, 1, 8} {
+		ok := Options{Seed: 1, Runs: 1, SecurityRuns: 1, TraceRuns: 1, Workers: w}
+		if err := ok.validate(); err != nil {
+			t.Fatalf("rejected workers=%d: %v", w, err)
+		}
+	}
 }
 
 func TestRegistryComplete(t *testing.T) {

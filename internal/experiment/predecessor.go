@@ -54,8 +54,10 @@ func AblationPredecessor(opt Options) (*Figure, error) {
 			trials = 20
 		}
 		maxMsgs := int(messageCounts[len(messageCounts)-1])
-		correctAt := make([]int, len(messageCounts))
-		for trial := 0; trial < trials; trial++ {
+		// Each trial is one independent adversary observing one source's
+		// message stream; trials run concurrently and report whether the
+		// guess was correct at each message-count checkpoint.
+		perTrial, err := MapTrials(opt.Workers, trials, func(trial int) ([]bool, error) {
 			adv, err := adversary.RandomFraction(cfg.Nodes, frac, nw.Rand("predadv", trial))
 			if err != nil {
 				return nil, err
@@ -64,6 +66,7 @@ func AblationPredecessor(opt Options) (*Figure, error) {
 			// Predecessor observation counts accumulated over the
 			// stream.
 			counts := map[contact.NodeID]int{}
+			correct := make([]bool, len(messageCounts))
 			msgIdx := 0
 			for mi := 0; mi < maxMsgs; mi++ {
 				res, err := nw.RouteFrom(src, trial*1000+mi, 1800)
@@ -84,10 +87,20 @@ func AblationPredecessor(opt Options) (*Figure, error) {
 				msgIdx++
 				for ci, mc := range messageCounts {
 					if int(mc) == msgIdx {
-						if guessSource(counts) == src {
-							correctAt[ci]++
-						}
+						correct[ci] = guessSource(counts) == src
 					}
+				}
+			}
+			return correct, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		correctAt := make([]int, len(messageCounts))
+		for _, correct := range perTrial {
+			for ci, ok := range correct {
+				if ok {
+					correctAt[ci]++
 				}
 			}
 		}

@@ -34,10 +34,22 @@ type labeledConfig struct {
 	cfg   core.Config
 }
 
+// deliveryTrial is the outcome of one routed message: the simulated
+// delivery plus the analytical delivery rate at every deadline. A
+// skipped trial (no eligible group path) contributes nothing.
+type deliveryTrial struct {
+	skipped   bool
+	delivered bool
+	time      float64
+	model     []float64 // per deadline
+}
+
 // deliveryCurves runs one simulation series and one analysis series
 // per configuration: each routed message is simulated once to the
 // maximum deadline and its delivery time feeds an empirical CDF, which
-// is exactly the delivery rate as a function of the deadline.
+// is exactly the delivery rate as a function of the deadline. Trials
+// run concurrently on opt.Workers workers and are aggregated in trial
+// order, so the series are identical for every worker count.
 func deliveryCurves(opt Options, cfgs []labeledConfig, deadlines []float64) ([]stats.Series, []string, error) {
 	var series []stats.Series
 	var notes []string
@@ -49,30 +61,47 @@ func deliveryCurves(opt Options, cfgs []labeledConfig, deadlines []float64) ([]s
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiment: %s: %w", lc.label, err)
 		}
-		ecdf := stats.NewECDF()
-		modelAcc := make([]stats.Accumulator, len(deadlines))
-		skipped := 0
-		for i := 0; i < opt.Runs; i++ {
+		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (deliveryTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
-				skipped++
-				continue
+				return deliveryTrial{skipped: true}, nil
 			}
 			res, err := nw.Route(trial, maxT, false, i)
 			if err != nil {
-				return nil, nil, fmt.Errorf("experiment: %s run %d: %w", lc.label, i, err)
+				return deliveryTrial{}, fmt.Errorf("%s run %d: %w", lc.label, i, err)
 			}
-			if res.Delivered {
-				ecdf.Observe(res.Time)
-			} else {
-				ecdf.ObserveCensored()
+			dt := deliveryTrial{
+				delivered: res.Delivered,
+				time:      res.Time,
+				model:     make([]float64, len(deadlines)),
 			}
 			for d, t := range deadlines {
 				m, err := nw.ModelDelivery(trial, t)
 				if err != nil {
-					return nil, nil, fmt.Errorf("experiment: %s model: %w", lc.label, err)
+					return deliveryTrial{}, fmt.Errorf("%s model: %w", lc.label, err)
 				}
-				modelAcc[d].Add(m)
+				dt.model[d] = m
+			}
+			return dt, nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiment: %w", err)
+		}
+		ecdf := stats.NewECDF()
+		modelAcc := make([]stats.Accumulator, len(deadlines))
+		skipped := 0
+		for _, dt := range trials {
+			if dt.skipped {
+				skipped++
+				continue
+			}
+			if dt.delivered {
+				ecdf.Observe(dt.time)
+			} else {
+				ecdf.ObserveCensored()
+			}
+			for d := range deadlines {
+				modelAcc[d].Add(dt.model[d])
 			}
 		}
 		if skipped > 0 {
@@ -96,15 +125,23 @@ func deliveryCurves(opt Options, cfgs []labeledConfig, deadlines []float64) ([]s
 	return series, notes, nil
 }
 
-// securityPoint measures one fast-mode security point.
-func securityPoint(nw *core.Network, frac float64, runs, salt int, metric func(core.SecurityOutcome) float64) (stats.Summary, error) {
-	var acc stats.Accumulator
-	for i := 0; i < runs; i++ {
+// securityPoint measures one fast-mode security point. Samples are
+// drawn concurrently on workers workers and accumulated in trial
+// order.
+func securityPoint(nw *core.Network, frac float64, runs, workers, salt int, metric func(core.SecurityOutcome) float64) (stats.Summary, error) {
+	vals, err := MapTrials(workers, runs, func(i int) (float64, error) {
 		out, err := nw.FastSecurityTrial(frac, salt*1000003+i)
 		if err != nil {
-			return stats.Summary{}, err
+			return 0, err
 		}
-		acc.Add(metric(out))
+		return metric(out), nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	var acc stats.Accumulator
+	for _, v := range vals {
+		acc.Add(v)
 	}
 	return acc.Summarize(), nil
 }
@@ -177,7 +214,7 @@ func Fig06(opt Options) (*Figure, error) {
 		simulation := stats.Series{Name: fmt.Sprintf("Simulation: %d onions", k)}
 		for fi, frac := range fracs {
 			analysis.Append(frac, nw.ModelTraceableRate(frac), 0)
-			sum, err := securityPoint(nw, frac, opt.SecurityRuns, k*100+fi,
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, k*100+fi,
 				func(o core.SecurityOutcome) float64 { return o.TraceableRate })
 			if err != nil {
 				return nil, err
@@ -212,7 +249,7 @@ func Fig07(opt Options) (*Figure, error) {
 				return nil, err
 			}
 			analysis.Append(float64(k), nw.ModelTraceableRate(frac), 0)
-			sum, err := securityPoint(nw, frac, opt.SecurityRuns, int(frac*100)*100+k,
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, int(frac*100)*100+k,
 				func(o core.SecurityOutcome) float64 { return o.TraceableRate })
 			if err != nil {
 				return nil, err
@@ -247,7 +284,7 @@ func Fig08(opt Options) (*Figure, error) {
 		simulation := stats.Series{Name: fmt.Sprintf("Simulation: g=%d", g)}
 		for fi, frac := range fracs {
 			analysis.Append(frac, nw.ModelPathAnonymity(frac), 0)
-			sum, err := securityPoint(nw, frac, opt.SecurityRuns, g*1000+fi,
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, g*1000+fi,
 				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
 			if err != nil {
 				return nil, err
@@ -282,7 +319,7 @@ func Fig09(opt Options) (*Figure, error) {
 				return nil, err
 			}
 			analysis.Append(float64(g), nw.ModelPathAnonymity(frac), 0)
-			sum, err := securityPoint(nw, frac, opt.SecurityRuns, int(frac*100)*1000+g,
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, int(frac*100)*1000+g,
 				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
 			if err != nil {
 				return nil, err
@@ -339,17 +376,29 @@ func Fig11(opt Options) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		var acc stats.Accumulator
-		for i := 0; i < opt.Runs; i++ {
+		type txTrial struct {
+			ok bool
+			tx float64
+		}
+		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (txTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
-				continue
+				return txTrial{}, nil
 			}
 			res, err := nw.Route(trial, 1800, true, i)
 			if err != nil {
-				return nil, err
+				return txTrial{}, err
 			}
-			acc.Add(float64(res.Transmissions))
+			return txTrial{ok: true, tx: float64(res.Transmissions)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var acc stats.Accumulator
+		for _, tt := range trials {
+			if tt.ok {
+				acc.Add(tt.tx)
+			}
 		}
 		simulation.Append(float64(l), acc.Mean(), acc.CI95())
 	}
@@ -383,7 +432,7 @@ func Fig12(opt Options) (*Figure, error) {
 		simulation := stats.Series{Name: fmt.Sprintf("Simulation: L=%d", l)}
 		for fi, frac := range fracs {
 			analysis.Append(frac, nw.ModelPathAnonymity(frac), 0)
-			sum, err := securityPoint(nw, frac, opt.SecurityRuns, l*10000+fi,
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, l*10000+fi,
 				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
 			if err != nil {
 				return nil, err
@@ -419,7 +468,7 @@ func Fig13(opt Options) (*Figure, error) {
 				return nil, err
 			}
 			analysis.Append(float64(g), nw.ModelPathAnonymity(frac), 0)
-			sum, err := securityPoint(nw, frac, opt.SecurityRuns, l*100000+g,
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, l*100000+g,
 				func(o core.SecurityOutcome) float64 { return o.PathAnonymity })
 			if err != nil {
 				return nil, err

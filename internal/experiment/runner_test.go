@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapTrialsZeroAndSingleTrial(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		out, err := MapTrials(workers, 0, func(i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d trials=0: %v", workers, err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("workers=%d trials=0: got %d results", workers, len(out))
+		}
+		out, err = MapTrials(workers, 1, func(i int) (int, error) { return i * 7, nil })
+		if err != nil {
+			t.Fatalf("workers=%d trials=1: %v", workers, err)
+		}
+		if len(out) != 1 || out[0] != 0 {
+			t.Fatalf("workers=%d trials=1: got %v", workers, out)
+		}
+	}
+}
+
+func TestMapTrialsResultsInTrialOrder(t *testing.T) {
+	const n = 257
+	for _, workers := range []int{0, 1, 3, 16, n + 5} {
+		out, err := MapTrials(workers, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapTrialsWorkersZeroDefaultsToGOMAXPROCS(t *testing.T) {
+	// Count distinct goroutines indirectly: with workers=0 and more
+	// trials than GOMAXPROCS every trial must still run exactly once.
+	var ran atomic.Int64
+	n := 4*runtime.GOMAXPROCS(0) + 3
+	out, err := MapTrials(0, n, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(ran.Load()) != n || len(out) != n {
+		t.Fatalf("ran %d trials, returned %d results, want %d", ran.Load(), len(out), n)
+	}
+}
+
+func TestMapTrialsErrorPropagationAndCancellation(t *testing.T) {
+	const n = 10000
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	_, err := MapTrials(4, n, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial") {
+		t.Fatalf("error does not name the failing trial: %v", err)
+	}
+	if ran.Load() >= n {
+		t.Fatalf("pool was not cancelled: all %d trials ran after an immediate failure", n)
+	}
+}
+
+func TestMapTrialsSequentialErrorIsFirst(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := MapTrials(1, 100, func(i int) (int, error) {
+		if i >= 42 {
+			return 0, fmt.Errorf("trial body %d: %w", i, sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 42") {
+		t.Fatalf("sequential mode must surface the first error, got: %v", err)
+	}
+}
+
+// TestMapTrialsStress runs far more trials than workers so the claim
+// counter and result slice are hammered from every worker; `go test
+// -race ./internal/experiment/` turns this into a data-race probe of
+// the pool itself.
+func TestMapTrialsStress(t *testing.T) {
+	const n = 2000
+	for _, workers := range []int{2, 8, 32} {
+		var ran atomic.Int64
+		out, err := MapTrials(workers, n, func(i int) (int64, error) {
+			return ran.Add(1), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if int(ran.Load()) != n {
+			t.Fatalf("workers=%d: ran %d trials, want %d", workers, ran.Load(), n)
+		}
+		seen := make(map[int64]bool, n)
+		for _, v := range out {
+			if v < 1 || v > n || seen[v] {
+				t.Fatalf("workers=%d: claim ticket %d duplicated or out of range", workers, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("resolveWorkers(0, 100) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := resolveWorkers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("resolveWorkers(-3, 100) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := resolveWorkers(8, 3); got != 3 {
+		t.Fatalf("resolveWorkers(8, 3) = %d, want 3 (clamped to trials)", got)
+	}
+	if got := resolveWorkers(5, 100); got != 5 {
+		t.Fatalf("resolveWorkers(5, 100) = %d, want 5", got)
+	}
+}

@@ -37,42 +37,69 @@ func infocomNetwork(opt Options) (*core.TraceNetwork, error) {
 	return core.NewTraceNetwork(tr, opt.Seed+1)
 }
 
+// traceTrialOutcome is one replayed trace message: the simulated delay
+// plus the analytical delivery rate per deadline (modelOK is false
+// where the fitted path had a zero-rate hop and the model could not be
+// evaluated).
+type traceTrialOutcome struct {
+	delivered bool
+	delay     float64
+	model     []float64
+	modelOK   []bool
+}
+
 // traceDeliveryCurves builds one Analysis + Simulation pair per copy
-// count by replaying the trace. Deadlines are in seconds.
+// count by replaying the trace. Deadlines are in seconds. Replays run
+// concurrently on opt.Workers workers and aggregate in trial order.
 func traceDeliveryCurves(opt Options, tn *core.TraceNetwork, g int, copyCounts []int, deadlines []float64) ([]stats.Series, []string, error) {
 	var series []stats.Series
 	var notes []string
 	maxT := deadlines[len(deadlines)-1]
 	for _, l := range copyCounts {
-		ecdf := stats.NewECDF()
-		modelAcc := make([]stats.Accumulator, len(deadlines))
-		modelSkipped := 0
-		for i := 0; i < opt.TraceRuns; i++ {
+		trials, err := MapTrials(opt.Workers, opt.TraceRuns, func(i int) (traceTrialOutcome, error) {
 			trial, err := tn.NewTrial(l*1000000+i, g, traceRelays)
 			if err != nil {
-				return nil, nil, err
+				return traceTrialOutcome{}, err
 			}
 			res, err := tn.Route(trial, maxT, l, true, false)
 			if err != nil {
-				return nil, nil, err
+				return traceTrialOutcome{}, err
 			}
-			if res.Delivered {
-				ecdf.Observe(res.Time - trial.Start)
-			} else {
-				ecdf.ObserveCensored()
+			out := traceTrialOutcome{
+				delivered: res.Delivered,
+				delay:     res.Time - trial.Start,
+				model:     make([]float64, len(deadlines)),
+				modelOK:   make([]bool, len(deadlines)),
 			}
 			for d, t := range deadlines {
 				m, ok, err := tn.ModelDelivery(trial, t, l)
 				if err != nil {
-					return nil, nil, err
+					return traceTrialOutcome{}, err
 				}
-				if !ok {
+				out.model[d], out.modelOK[d] = m, ok
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ecdf := stats.NewECDF()
+		modelAcc := make([]stats.Accumulator, len(deadlines))
+		modelSkipped := 0
+		for _, tt := range trials {
+			if tt.delivered {
+				ecdf.Observe(tt.delay)
+			} else {
+				ecdf.ObserveCensored()
+			}
+			for d := range deadlines {
+				if !tt.modelOK[d] {
 					if d == 0 {
 						modelSkipped++
 					}
 					continue
 				}
-				modelAcc[d].Add(m)
+				modelAcc[d].Add(tt.model[d])
 			}
 		}
 		if modelSkipped > 0 {
@@ -100,27 +127,33 @@ func traceDeliveryCurves(opt Options, tn *core.TraceNetwork, g int, copyCounts [
 // traceSecuritySeries measures a security metric in fast mode for a
 // trace population of n nodes (the metrics are contact-graph
 // independent, Sec. V-D).
-func traceSecuritySeries(name string, n, g, copies int, fracs []float64, runs int, seed uint64,
+func traceSecuritySeries(name string, n, g, copies int, fracs []float64, runs, workers int, seed uint64,
 	metric func(a *adversary.Adversary, senders []contact.NodeID, cO int) float64) (stats.Series, error) {
 	root := rng.New(seed)
 	out := stats.Series{Name: name}
 	for fi, frac := range fracs {
-		var acc stats.Accumulator
-		for i := 0; i < runs; i++ {
+		vals, err := MapTrials(workers, runs, func(i int) (float64, error) {
 			s := root.SplitN("trial", fi*1000000+i)
 			adv, err := adversary.RandomFraction(n, frac, s.Split("adv"))
 			if err != nil {
-				return stats.Series{}, err
+				return 0, err
 			}
 			senders, err := adversary.SampleSenders(n, traceRelays, s.Split("senders"))
 			if err != nil {
-				return stats.Series{}, err
+				return 0, err
 			}
 			positions, err := adversary.SamplePositions(n, traceRelays, copies, g, copies > 1, s.Split("positions"))
 			if err != nil {
-				return stats.Series{}, err
+				return 0, err
 			}
-			acc.Add(metric(adv, senders, adv.PositionsCompromised(positions)))
+			return metric(adv, senders, adv.PositionsCompromised(positions)), nil
+		})
+		if err != nil {
+			return stats.Series{}, err
+		}
+		var acc stats.Accumulator
+		for _, v := range vals {
+			acc.Add(v)
 		}
 		out.Append(frac, acc.Mean(), acc.CI95())
 	}
@@ -195,7 +228,7 @@ func traceSecurityFigure(opt Options, id, title, metricName string, n, g int, co
 			analysis.Append(frac, analysisFn(frac, l), 0)
 		}
 		simulation, err := traceSecuritySeries(
-			fmt.Sprintf("Simulation: L=%d", l), n, g, l, fracs, opt.SecurityRuns,
+			fmt.Sprintf("Simulation: L=%d", l), n, g, l, fracs, opt.SecurityRuns, opt.Workers,
 			opt.Seed+uint64(l), metricFn)
 		if err != nil {
 			return nil, err

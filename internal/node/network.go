@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/contact"
@@ -141,8 +142,18 @@ func exchangeAcksLocked(a, b *Node) {
 // exchangeLocked hands over every eligible onion from sender to
 // receiver as a marshaled Bundle-layer frame — the receiver re-parses
 // and re-validates everything it is given. Both locks are held.
+// Onions are offered in custody (FIFO) order: under a receiver buffer
+// limit the transfer order decides which custody offers are refused,
+// and both map iteration order and the crypto-random message IDs would
+// make delivery outcomes nondeterministic for a fixed seed.
 func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport) {
-	for id, c := range sender.buffer {
+	held := make([]*carried, 0, len(sender.buffer))
+	for _, c := range sender.buffer {
+		held = append(held, c)
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i].seq < held[j].seq })
+	for _, c := range held {
+		id := c.id
 		if receiver.seen[id] {
 			continue
 		}

@@ -49,6 +49,11 @@ type carried struct {
 	lastHop   bool
 	tickets   int
 	expiry    float64
+	// seq orders this node's custody FIFO. Message IDs are drawn from
+	// crypto/rand, so any ID-based ordering would differ run to run;
+	// custody order is reproducible for a fixed workload seed, and
+	// exchange iterates in it so buffer-refusal outcomes are too.
+	seq uint64
 }
 
 // Node is a single DTN participant. All methods are safe for
@@ -63,6 +68,7 @@ type Node struct {
 	delivered map[string][]byte
 	seen      map[string]bool // message IDs ever carried or delivered
 	acks      map[string]bool // delivered-message IDs known to this node
+	nextSeq   uint64          // custody FIFO counter for carried.seq
 	stats     Stats
 }
 
@@ -165,6 +171,7 @@ func (n *Node) Send(spec SendSpec, pathStream *rng.Stream) (string, error) {
 		group:   ids[0],
 		tickets: spec.Copies,
 		expiry:  spec.Expiry,
+		seq:     n.claimSeqLocked(),
 	}
 	n.seen[msgID] = true
 	n.stats.Sent++
@@ -177,6 +184,13 @@ func newMessageID() (string, error) {
 		return "", fmt.Errorf("node: message id: %w", err)
 	}
 	return hex.EncodeToString(raw[:]), nil
+}
+
+// claimSeqLocked returns the next custody sequence number. The caller
+// holds n.mu.
+func (n *Node) claimSeqLocked() uint64 {
+	n.nextSeq++
+	return n.nextSeq
 }
 
 // errTransfer classifies a rejected hand-off: the sender keeps custody.
@@ -223,6 +237,7 @@ func (n *Node) acceptLocked(c *carried) error {
 		// member is met.
 		n.buffer[c.id] = &carried{
 			id: c.id, data: c.data, group: c.group, tickets: 1, expiry: c.expiry,
+			seq: n.claimSeqLocked(),
 		}
 		n.seen[c.id] = true
 		n.stats.Carried++
@@ -240,7 +255,7 @@ func (n *Node) acceptLocked(c *carried) error {
 		n.stats.Rejected++
 		return fmt.Errorf("%w: %v", errTransfer, err)
 	}
-	next := &carried{id: c.id, tickets: 1, expiry: c.expiry}
+	next := &carried{id: c.id, tickets: 1, expiry: c.expiry, seq: n.claimSeqLocked()}
 	if peeled.Deliver {
 		next.lastHop = true
 		next.deliverTo = contact.NodeID(peeled.Dest)

@@ -1,0 +1,100 @@
+package rng
+
+import "testing"
+
+// These tests document the determinism contract the experiment
+// package's parallel Monte Carlo runner relies on: SplitN(label, i)
+// yields a substream that (a) depends only on the parent's seed
+// material, the label, and the index — never on how much the parent or
+// any sibling has been consumed — and (b) never aliases the substream
+// of any other (label, index) pair.
+
+// drain returns the first k outputs of a stream.
+func drain(s *Stream, k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = s.Uint64()
+	}
+	return out
+}
+
+func TestSplitNSubstreamsNeverAlias(t *testing.T) {
+	const prefix = 64
+	root := New(7)
+	labels := []string{"trial", "route", "adv", "mc", "run", "a", "b", ""}
+	indices := []int{0, 1, 2, 3, 15, 16, 100, 1000003, 1 << 30}
+
+	type key struct {
+		label string
+		n     int
+	}
+	seen := make(map[[prefix]uint64]key, len(labels)*len(indices))
+	for _, label := range labels {
+		for _, n := range indices {
+			var sig [prefix]uint64
+			copy(sig[:], drain(root.SplitN(label, n), prefix))
+			if prev, dup := seen[sig]; dup {
+				t.Fatalf("SplitN(%q, %d) aliases SplitN(%q, %d): identical first %d outputs",
+					label, n, prev.label, prev.n, prefix)
+			}
+			seen[sig] = key{label, n}
+		}
+	}
+
+	// Substreams must also differ from Split(label) with the same label
+	// and from the parent itself.
+	for _, label := range labels {
+		var sig [prefix]uint64
+		copy(sig[:], drain(root.Split(label), prefix))
+		if prev, dup := seen[sig]; dup {
+			t.Fatalf("Split(%q) aliases SplitN(%q, %d)", label, prev.label, prev.n)
+		}
+	}
+	var rootSig [prefix]uint64
+	copy(rootSig[:], drain(New(7), prefix))
+	if prev, dup := seen[rootSig]; dup {
+		t.Fatalf("root stream aliases SplitN(%q, %d)", prev.label, prev.n)
+	}
+}
+
+func TestSplitNStableAcrossCallsAndParentConsumption(t *testing.T) {
+	const prefix = 64
+	root := New(99)
+	first := drain(root.SplitN("trial", 12), prefix)
+
+	// Same call again: identical.
+	again := drain(root.SplitN("trial", 12), prefix)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("SplitN is not stable across calls: output %d differs", i)
+		}
+	}
+
+	// Consuming the parent must not perturb the substream.
+	for i := 0; i < 1000; i++ {
+		root.Uint64()
+	}
+	after := drain(root.SplitN("trial", 12), prefix)
+	for i := range first {
+		if first[i] != after[i] {
+			t.Fatalf("SplitN depends on parent consumption: output %d differs", i)
+		}
+	}
+
+	// Consuming a sibling substream must not perturb it either.
+	drain(root.SplitN("trial", 13), prefix)
+	sibling := drain(root.SplitN("trial", 12), prefix)
+	for i := range first {
+		if first[i] != sibling[i] {
+			t.Fatalf("SplitN depends on sibling consumption: output %d differs", i)
+		}
+	}
+
+	// A fresh parent with the same seed derives the same substream.
+	fresh := drain(New(99).SplitN("trial", 12), prefix)
+	for i := range first {
+		if first[i] != fresh[i] {
+			t.Fatalf("SplitN not reproducible from a fresh parent: output %d differs", i)
+		}
+	}
+}
