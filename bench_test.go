@@ -126,3 +126,8 @@ func BenchmarkAblationPredecessor(b *testing.B) { benchFigure(b, experiment.Abla
 // BenchmarkAblationBuffers regenerates the buffer-pressure experiment
 // on the full-crypto runtime.
 func BenchmarkAblationBuffers(b *testing.B) { benchFigure(b, experiment.AblationBuffers) }
+
+// BenchmarkAblationFaults regenerates the fault-injection sweep:
+// delivery/cost/anonymity vs. fault rate across the analysis, the
+// abstract simulation, and the full-crypto runtime.
+func BenchmarkAblationFaults(b *testing.B) { benchFigure(b, experiment.AblationFaults) }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/contact"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/node"
 	"repro/internal/rng"
@@ -48,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		runs        = fs.Int("runs", 500, "number of routed messages")
 		seed        = fs.Uint64("seed", 1, "root random seed")
 		compromised = fs.Float64("compromised", 0.1, "compromised node fraction c/n")
+		faults      = fs.Float64("faults", 0, "fault-injection rate in [0,1): contact loss for simulations, uniform fault mix for the runtime")
 		graphPath   = fs.String("graph", "", "load the contact graph from a file (contact exchange format)")
 		saveGraph   = fs.String("save-graph", "", "save the generated contact graph to a file")
 		tracePath   = fs.String("trace", "", "replay a contact trace file instead of a synthetic graph (onion protocol only; deadline in seconds)")
@@ -56,28 +58,31 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *faults < 0 || *faults >= 1 {
+		return fmt.Errorf("-faults must be in [0,1), got %v", *faults)
+	}
 	if *tracePath != "" {
 		if *protocol != "onion" {
 			return fmt.Errorf("trace replay supports only the onion protocol")
 		}
-		return runTrace(out, *tracePath, *g, *k, *l, *spray, *deadline, *runs, *seed)
+		return runTrace(out, *tracePath, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
 	}
 	switch *protocol {
 	case "onion":
-		return runOnion(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *compromised, *graphPath, *saveGraph)
+		return runOnion(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *compromised, *faults, *graphPath, *saveGraph)
 	case "runtime":
-		return runRuntime(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed)
+		return runRuntime(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
 	case "epidemic", "sprayandwait", "binaryspray", "prophet", "direct":
-		return runBaseline(out, *protocol, *n, *l, *deadline, *runs, *seed)
+		return runBaseline(out, *protocol, *n, *l, *deadline, *runs, *seed, *faults)
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
 }
 
-func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64, frac float64, graphPath, saveGraph string) error {
+func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64, frac, faults float64, graphPath, saveGraph string) error {
 	cfg := core.Config{
 		Nodes: n, GroupSize: g, Relays: k, Copies: l, Spray: spray,
-		MinICT: 1, MaxICT: 360, Seed: seed,
+		MinICT: 1, MaxICT: 360, Seed: seed, ContactFailure: faults,
 	}
 	var nw *core.Network
 	var err error
@@ -135,7 +140,8 @@ func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs 
 			delay.Add(res.Time)
 		}
 		tx.Add(float64(res.Transmissions))
-		m, err := nw.ModelDelivery(trial, deadline)
+		// Thinned model: identical to ModelDelivery when faults == 0.
+		m, err := nw.ModelDeliveryLossy(trial, deadline)
 		if err != nil {
 			return err
 		}
@@ -149,8 +155,8 @@ func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs 
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "scenario\tn=%d g=%d K=%d L=%d spray=%v T=%v min c/n=%.0f%%\n",
-		n, g, k, l, spray, deadline, frac*100)
+	fmt.Fprintf(tw, "scenario\tn=%d g=%d K=%d L=%d spray=%v T=%v min c/n=%.0f%% faults=%v\n",
+		n, g, k, l, spray, deadline, frac*100, faults)
 	fmt.Fprintf(tw, "metric\tsimulation\tanalysis\n")
 	fmt.Fprintf(tw, "delivery rate\t%.4f\t%.4f\n", float64(delivered)/float64(runs), modelDelivery.Mean())
 	if delivered > 0 {
@@ -162,7 +168,7 @@ func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs 
 	return tw.Flush()
 }
 
-func runBaseline(out io.Writer, name string, n, l int, deadline float64, runs int, seed uint64) error {
+func runBaseline(out io.Writer, name string, n, l int, deadline float64, runs int, seed uint64, faults float64) error {
 	root := rng.New(seed)
 	g := contactGraph(n, root)
 	var delivered int
@@ -207,7 +213,8 @@ func runBaseline(out io.Writer, name string, n, l int, deadline float64, runs in
 			}
 			proto, res = p, p.Result
 		}
-		sim.RunSynthetic(g, deadline, s.Split("contacts"), proto)
+		sim.RunSynthetic(g, deadline, s.Split("contacts"),
+			sim.Lossy(proto, faults, s.Split("faults")))
 		r := res()
 		if r.Delivered {
 			delivered++
@@ -233,7 +240,7 @@ func nodeID(v int) contact.NodeID { return contact.NodeID(v) }
 
 // runTrace replays a contact trace file (deadline interpreted in
 // seconds, as in the paper's trace figures).
-func runTrace(out io.Writer, path string, g, k, l int, spray bool, deadline float64, runs int, seed uint64) error {
+func runTrace(out io.Writer, path string, g, k, l int, spray bool, deadline float64, runs int, seed uint64, faults float64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open trace: %w", err)
@@ -258,7 +265,7 @@ func runTrace(out io.Writer, path string, g, k, l int, spray bool, deadline floa
 		if err != nil {
 			return err
 		}
-		res, err := tn.Route(trial, deadline, l, spray, true)
+		res, err := tn.RouteLossy(trial, deadline, l, spray, true, faults, i)
 		if err != nil {
 			return err
 		}
@@ -288,9 +295,10 @@ func runTrace(out io.Writer, path string, g, k, l int, spray bool, deadline floa
 
 // runRuntime offers a Poisson stream of fully encrypted messages to
 // the message-level runtime (internal/node) — the system-test view.
-func runRuntime(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64) error {
+func runRuntime(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64, faults float64) error {
 	nw, err := node.NewNetwork(node.Config{
 		Nodes: n, GroupSize: g, Seed: seed, Spray: spray, AntiPackets: true,
+		Faults: fault.Uniform(faults),
 	})
 	if err != nil {
 		return err
@@ -322,5 +330,10 @@ func runRuntime(out io.Writer, n, g, k, l int, spray bool, deadline float64, run
 	fmt.Fprintf(tw, "hand-offs\t%d (rejected %d, refused %d, purged %d, expired %d)\n",
 		res.Totals.Forwarded, res.Totals.Rejected, res.Totals.Refused,
 		res.Totals.Purged, res.Totals.Expired)
+	if faults > 0 {
+		fmt.Fprintf(tw, "injected faults\t%d truncated (%d retransmits), %d corrupted, %d duplicates, %d crashes (%d custody dropped)\n",
+			res.Totals.Truncated, res.Totals.Retried, res.Totals.Corrupted,
+			res.Totals.Duplicates, res.Totals.Crashes, res.Totals.CrashDropped)
+	}
 	return tw.Flush()
 }

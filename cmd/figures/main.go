@@ -36,6 +36,7 @@ func run(args []string, out *os.File) error {
 		traceRuns    = fs.Int("trace-runs", 0, "routed messages per trace figure (0 = default)")
 		seed         = fs.Uint64("seed", 1, "root random seed")
 		workers      = fs.Int("workers", 0, "concurrent trial workers per figure (0 = GOMAXPROCS); output is identical for any value")
+		faults       = fs.Float64("faults", 0, "fault-injection rate in [0,1) applied to every figure (0 = pristine; ablation-faults sweeps internally)")
 		noPlot       = fs.Bool("no-plot", false, "suppress ASCII plots")
 		jsonOut      = fs.Bool("json", false, "also write .json files when -out is set")
 		parallel     = fs.Int("parallel", 1, "figures generated concurrently")
@@ -61,6 +62,10 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
 	}
 	opt.Workers = *workers
+	if *faults < 0 || *faults >= 1 {
+		return fmt.Errorf("-faults must be in [0,1), got %v", *faults)
+	}
+	opt.FaultRate = *faults
 
 	reg, ids := experiment.Registry()
 	ablReg, ablIDs := experiment.AblationRegistry()

@@ -10,6 +10,7 @@
 //	sweep -param L -values 1,2,3,4,5 -spray
 //	sweep -param c -values 0.05,0.1,0.2,0.4
 //	sweep -param T -values 60,300,600,1800
+//	sweep -param f -values 0,0.1,0.2,0.4
 package main
 
 import (
@@ -47,7 +48,7 @@ type point struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		param       = fs.String("param", "g", "parameter to sweep: g | K | L | c | T")
+		param       = fs.String("param", "g", "parameter to sweep: g | K | L | c | T | f (contact-failure rate)")
 		valuesRaw   = fs.String("values", "1,5,10", "comma-separated values for the swept parameter")
 		n           = fs.Int("n", 100, "number of nodes")
 		g           = fs.Int("g", 5, "onion group size (when not swept)")
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		spray       = fs.Bool("spray", true, "source spray-and-wait augmentation")
 		deadline    = fs.Float64("deadline", 600, "message deadline T, minutes (when not swept)")
 		compromised = fs.Float64("compromised", 0.1, "compromised fraction c/n (when not swept)")
+		faults      = fs.Float64("faults", 0, "per-contact failure rate in [0,1) (when not swept)")
 		runs        = fs.Int("runs", 400, "routed messages per point")
 		seed        = fs.Uint64("seed", 1, "root random seed")
 		workers     = fs.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS); output is identical for any value")
@@ -76,7 +78,7 @@ func run(args []string, out io.Writer) error {
 	for _, v := range values {
 		cfg := core.Config{
 			Nodes: *n, GroupSize: *g, Relays: *k, Copies: *l, Spray: *spray,
-			MinICT: 1, MaxICT: 360, Seed: *seed,
+			MinICT: 1, MaxICT: 360, Seed: *seed, ContactFailure: *faults,
 		}
 		dl, frac := *deadline, *compromised
 		switch *param {
@@ -90,8 +92,10 @@ func run(args []string, out io.Writer) error {
 			frac = v
 		case "T":
 			dl = v
+		case "f":
+			cfg.ContactFailure = v
 		default:
-			return fmt.Errorf("unknown parameter %q (want g, K, L, c, or T)", *param)
+			return fmt.Errorf("unknown parameter %q (want g, K, L, c, T, or f)", *param)
 		}
 		p, err := evaluate(cfg, dl, frac, *runs, *workers, v)
 		if err != nil {
@@ -153,7 +157,9 @@ func evaluate(cfg core.Config, deadline, frac float64, runs, workers int, v floa
 		if err != nil {
 			return trialOut{}, err
 		}
-		m, err := nw.ModelDelivery(trial, deadline)
+		// Thinned model: identical to ModelDelivery when the
+		// contact-failure rate is zero.
+		m, err := nw.ModelDeliveryLossy(trial, deadline)
 		if err != nil {
 			return trialOut{}, err
 		}

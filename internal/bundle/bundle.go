@@ -37,13 +37,37 @@ import (
 // Version is the current wire format version.
 const Version = 1
 
+// HeaderSize and TrailerSize are the fixed framing overheads around the
+// onion payload. They are exported so fault injection and tests can
+// construct boundary-exact torn frames (e.g. a frame cut at precisely
+// the header/payload boundary) without duplicating the layout.
+const (
+	HeaderSize  = 4 + 1 + 1 + 16 + 8 + 4 + 4 + 4
+	TrailerSize = 4
+)
+
 const (
 	magic       = "ODTN"
-	headerSize  = 4 + 1 + 1 + 16 + 8 + 4 + 4 + 4
-	trailerSize = 4
+	headerSize  = HeaderSize
+	trailerSize = TrailerSize
 	noneID      = 0xFFFFFFFF
 
 	flagLastHop = 1 << 0
+)
+
+// Unmarshal failures carry one of these sentinels (via errors.Is) so
+// custodians can distinguish a torn transfer — worth an immediate
+// retransmission, the peer is still in contact — from a damaged or
+// hostile frame, which is dropped gracefully and re-offered only at a
+// later contact.
+var (
+	// ErrTruncated marks a frame shorter than its declared length: the
+	// transfer aborted mid-bundle.
+	ErrTruncated = errors.New("bundle: truncated frame")
+	// ErrTampered marks a complete-looking frame that fails
+	// verification: bad magic, version skew, hostile length field,
+	// trailing garbage, or checksum mismatch.
+	ErrTampered = errors.New("bundle: tampered frame")
 )
 
 // MaxPayload bounds a bundle's onion size (16 MiB), protecting
@@ -117,26 +141,32 @@ func (b *Bundle) Marshal() ([]byte, error) {
 // frame and the sender retains custody.
 func Unmarshal(frame []byte) (*Bundle, error) {
 	if len(frame) < headerSize+trailerSize {
-		return nil, fmt.Errorf("bundle: frame too short (%d bytes)", len(frame))
+		// Shorter than any legal frame — includes the boundary case of
+		// a transfer torn at exactly the end of the header, which must
+		// be rejected even though the whole header parses cleanly.
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(frame), headerSize+trailerSize)
 	}
 	if string(frame[0:4]) != magic {
-		return nil, errors.New("bundle: bad magic")
+		return nil, fmt.Errorf("%w: bad magic", ErrTampered)
 	}
 	if frame[4] != Version {
-		return nil, fmt.Errorf("bundle: unsupported version %d", frame[4])
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrTampered, frame[4])
 	}
 	payloadLen := binary.BigEndian.Uint32(frame[38:42])
 	if payloadLen > MaxPayload {
-		return nil, fmt.Errorf("bundle: declared payload %d exceeds limit", payloadLen)
+		return nil, fmt.Errorf("%w: declared payload %d exceeds limit", ErrTampered, payloadLen)
 	}
 	want := headerSize + int(payloadLen) + trailerSize
-	if len(frame) != want {
-		return nil, fmt.Errorf("bundle: frame length %d, want %d", len(frame), want)
+	if len(frame) < want {
+		return nil, fmt.Errorf("%w: frame length %d, want %d", ErrTruncated, len(frame), want)
+	}
+	if len(frame) > want {
+		return nil, fmt.Errorf("%w: frame length %d, want %d", ErrTampered, len(frame), want)
 	}
 	body := frame[:headerSize+int(payloadLen)]
 	sum := binary.BigEndian.Uint32(frame[headerSize+int(payloadLen):])
 	if crc32.Checksum(body, castagnoli) != sum {
-		return nil, errors.New("bundle: checksum mismatch")
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrTampered)
 	}
 
 	b := &Bundle{

@@ -1,0 +1,116 @@
+package bundle
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestTruncationClassified pins the error taxonomy the node layer
+// relies on for its retry decision: a frame shorter than declared is
+// ErrTruncated (retransmit in-contact), everything else that fails
+// verification is ErrTampered (drop gracefully, re-offer later).
+func TestTruncationClassified(t *testing.T) {
+	frame, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every possible tear point — including the exact header boundary,
+	// where the header itself parses cleanly and only the length
+	// bookkeeping can save the receiver.
+	for keep := 0; keep < len(frame); keep++ {
+		_, err := Unmarshal(fault.Truncate(frame, keep))
+		if err == nil {
+			t.Fatalf("frame torn at %d bytes accepted", keep)
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("frame torn at %d bytes: %v, want ErrTruncated", keep, err)
+		}
+		if errors.Is(err, ErrTampered) {
+			t.Fatalf("frame torn at %d bytes classified as both truncated and tampered", keep)
+		}
+	}
+}
+
+// TestHeaderBoundaryTear is the regression for the satellite fix: a
+// frame cut at exactly HeaderSize bytes — complete header, zero
+// payload bytes, no trailer — must be rejected as truncated.
+func TestHeaderBoundaryTear(t *testing.T) {
+	frame, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := fault.Truncate(frame, HeaderSize)
+	if len(torn) != HeaderSize {
+		t.Fatalf("tear kept %d bytes, want %d", len(torn), HeaderSize)
+	}
+	b, err := Unmarshal(torn)
+	if err == nil {
+		t.Fatalf("header-boundary tear accepted as %+v", b)
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("header-boundary tear: %v, want ErrTruncated", err)
+	}
+	// The same holds with the trailer missing but payload intact.
+	noTrailer := fault.Truncate(frame, len(frame)-TrailerSize)
+	if _, err := Unmarshal(noTrailer); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("missing trailer: %v, want ErrTruncated", err)
+	}
+}
+
+func TestTamperClassified(t *testing.T) {
+	frame, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"flipped payload byte": fault.Flip(frame, HeaderSize),
+		"flipped header byte":  fault.Flip(frame, 6),
+		"flipped trailer byte": fault.Flip(frame, len(frame)-1),
+		"bad magic":            fault.Flip(frame, 0),
+		"version skew":         fault.Flip(frame, 4),
+		"trailing garbage":     append(append([]byte(nil), frame...), 0xAB),
+	}
+	for name, bad := range cases {
+		_, err := Unmarshal(bad)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrTampered) {
+			t.Errorf("%s: %v, want ErrTampered", name, err)
+		}
+		if errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: classified as truncated", name)
+		}
+	}
+}
+
+// TestEveryFlipClassifiedTampered extends the flip-every-byte property
+// with the classification the retry logic depends on: a complete but
+// damaged frame is never mistaken for a torn one.
+func TestEveryFlipClassifiedTampered(t *testing.T) {
+	frame, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		_, err := Unmarshal(fault.Flip(frame, i))
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+		if i >= 38 && i < 42 {
+			// A flip inside the length field inflating the declared
+			// payload is indistinguishable on the wire from a tear;
+			// either classification is sound as long as it's rejected.
+			if !errors.Is(err, ErrTampered) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("flip in length field at byte %d unclassified: %v", i, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTampered) {
+			t.Fatalf("flip at byte %d: %v, want ErrTampered", i, err)
+		}
+	}
+}

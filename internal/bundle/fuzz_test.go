@@ -3,6 +3,9 @@ package bundle
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
 )
 
 // FuzzUnmarshal hammers the wire decoder with arbitrary bytes: it must
@@ -19,6 +22,22 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 	truncated := append([]byte(nil), good[:len(good)-3]...)
 	f.Add(truncated)
+
+	// Fault-layer-produced shapes: the exact frames the injection layer
+	// puts on the wire, so the fuzzer's corpus covers real injected
+	// damage, not just synthetic mutations.
+	f.Add(fault.Truncate(good, HeaderSize))            // torn at the header boundary
+	f.Add(fault.Truncate(good, len(good)-TrailerSize)) // trailer ripped off
+	plan := fault.NewPlan(fault.Uniform(1), rng.New(1).Split("faults"))
+	for i := 0; i < 8; i++ {
+		h := plan.Handoff(len(good))
+		switch {
+		case h.Truncate:
+			f.Add(fault.Truncate(good, h.Cut))
+		case h.Corrupt:
+			f.Add(fault.Flip(good, h.Flip))
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := Unmarshal(data)

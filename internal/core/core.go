@@ -35,6 +35,14 @@ type Config struct {
 	MinICT    float64 // minimum mean inter-contact time, minutes (default 1)
 	MaxICT    float64 // maximum mean inter-contact time, minutes (default 360)
 	Seed      uint64  // root seed for all randomness
+	// ContactFailure is the fault layer's per-contact failure
+	// probability in [0, 1): each contact independently fails before
+	// any hand-off can happen. By Poisson thinning this is exactly a
+	// rate scaling of every pair process to λ(1−p), which is how both
+	// the direct sampler (SampleOnionLossy) and the lossy analytical
+	// model (ModelDeliveryLossy) account for it. 0 (the default)
+	// reproduces the unfaulted environment byte-for-byte.
+	ContactFailure float64
 }
 
 // DefaultConfig returns the paper's default parameters.
@@ -64,6 +72,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: need at least one copy, got %d", c.Copies)
 	case c.MinICT <= 0 || c.MaxICT <= c.MinICT:
 		return fmt.Errorf("core: invalid ICT range [%v, %v)", c.MinICT, c.MaxICT)
+	case c.ContactFailure < 0 || c.ContactFailure >= 1:
+		return fmt.Errorf("core: contact failure %v out of [0,1)", c.ContactFailure)
 	}
 	return nil
 }
@@ -171,13 +181,33 @@ func (nw *Network) Route(t *Trial, deadline float64, runToCompletion bool, i int
 		Spray:           nw.cfg.Spray,
 		RunToCompletion: runToCompletion,
 	}
-	return routing.SampleOnion(nw.graph, p, deadline, nw.root.SplitN("route", i))
+	return routing.SampleOnionLossy(nw.graph, p, deadline, nw.cfg.ContactFailure, nw.root.SplitN("route", i))
 }
 
 // ModelDelivery evaluates the trial's analytical delivery rate
-// (Eq. 6 for L=1, Eq. 7 otherwise).
+// (Eq. 6 for L=1, Eq. 7 otherwise) under IDEAL contacts — the paper's
+// published curves, regardless of cfg.ContactFailure. Compare with
+// ModelDeliveryLossy to see how far faults pull simulation away from
+// the ideal model.
 func (nw *Network) ModelDelivery(t *Trial, deadline float64) (float64, error) {
 	return model.DeliveryRateMultiCopy(t.Rates, nw.cfg.Copies, deadline)
+}
+
+// ModelDeliveryLossy evaluates the analytical delivery rate with the
+// configured per-contact failure folded in: every per-hop aggregate
+// rate of Eq. 4 is thinned to λ(1−p), which is exact for independent
+// per-contact failures over Poisson pair processes. At
+// ContactFailure = 0 it equals ModelDelivery.
+func (nw *Network) ModelDeliveryLossy(t *Trial, deadline float64) (float64, error) {
+	if nw.cfg.ContactFailure == 0 {
+		return model.DeliveryRateMultiCopy(t.Rates, nw.cfg.Copies, deadline)
+	}
+	keep := 1 - nw.cfg.ContactFailure
+	thinned := make([]float64, len(t.Rates))
+	for i, r := range t.Rates {
+		thinned[i] = keep * r
+	}
+	return model.DeliveryRateMultiCopy(thinned, nw.cfg.Copies, deadline)
 }
 
 // Rand derives a labeled deterministic random stream from the
@@ -208,7 +238,7 @@ func (nw *Network) RouteFrom(src contact.NodeID, i int, deadline float64) (routi
 		Copies: nw.cfg.Copies,
 		Spray:  nw.cfg.Spray,
 	}
-	return routing.SampleOnion(nw.graph, p, deadline, s.Split("route"))
+	return routing.SampleOnionLossy(nw.graph, p, deadline, nw.cfg.ContactFailure, s.Split("route"))
 }
 
 // SecurityOutcome aggregates the two security metrics of one trial
@@ -343,6 +373,20 @@ func (tn *TraceNetwork) NewTrial(i, g, k int) (*TraceTrial, error) {
 
 // Route replays the trace for one trial. deadline is in seconds.
 func (tn *TraceNetwork) Route(t *TraceTrial, deadline float64, copies int, spray, runToCompletion bool) (routing.Result, error) {
+	return tn.RouteLossy(t, deadline, copies, spray, runToCompletion, 0, 0)
+}
+
+// RouteLossy replays the trace for one trial with the fault layer's
+// per-contact failure probability: each recorded contact independently
+// fails with probability failure before the protocol sees it
+// (sim.Lossy). Traces have no Poisson structure to thin, so the DES
+// wrapper is the only exact treatment here. The failure schedule is
+// deterministic in (seed, i); failure = 0 consumes no stream state and
+// reproduces Route byte-for-byte.
+func (tn *TraceNetwork) RouteLossy(t *TraceTrial, deadline float64, copies int, spray, runToCompletion bool, failure float64, i int) (routing.Result, error) {
+	if failure < 0 || failure >= 1 {
+		return routing.Result{}, fmt.Errorf("core: contact failure %v out of [0,1)", failure)
+	}
 	p := routing.Params{
 		Src:             t.Src,
 		Dst:             t.Dst,
@@ -356,7 +400,7 @@ func (tn *TraceNetwork) Route(t *TraceTrial, deadline float64, copies int, spray
 	if err != nil {
 		return routing.Result{}, err
 	}
-	sim.Replay(tn.tr, t.Start, deadline, o)
+	sim.Replay(tn.tr, t.Start, deadline, sim.Lossy(o, failure, tn.root.SplitN("loss", i)))
 	return o.Result(), nil
 }
 

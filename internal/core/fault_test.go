@@ -1,0 +1,165 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestContactFailureValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		c := DefaultConfig()
+		c.ContactFailure = bad
+		if err := c.Validate(); err == nil {
+			t.Errorf("contact failure %v validated", bad)
+		}
+	}
+	c := DefaultConfig()
+	c.ContactFailure = 0.3
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroContactFailureByteIdentical is the rate-0 acceptance
+// criterion at the core layer: a network with ContactFailure = 0 is
+// indistinguishable — trial-for-trial, draw-for-draw — from one built
+// before the field existed (the zero-value config).
+func TestZeroContactFailureByteIdentical(t *testing.T) {
+	base := DefaultConfig()
+	base.Nodes = 40
+	zero := base
+	zero.ContactFailure = 0
+	a, err := NewNetwork(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNetwork(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ta, err := a.NewTrial(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := b.NewTrial(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := a.Route(ta, 600, true, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Route(tb, 600, true, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("trial %d diverged at fault rate 0: %+v vs %+v", i, ra, rb)
+		}
+		ma, err := a.ModelDelivery(ta, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := b.ModelDeliveryLossy(tb, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ma != mb {
+			t.Fatalf("trial %d: lossy model at failure 0 = %v, ideal = %v", i, mb, ma)
+		}
+	}
+}
+
+// TestContactFailureDegradesDelivery: both the simulated and the
+// thinned-model delivery rates fall monotonically with the fault
+// rate, while the ideal model is untouched.
+func TestContactFailureDegradesDelivery(t *testing.T) {
+	const deadline = 120
+	const trials = 150
+	eval := func(failure float64) (sim, lossyModel, idealModel float64) {
+		cfg := DefaultConfig()
+		cfg.Nodes = 40
+		cfg.ContactFailure = failure
+		nw, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var delivered int
+		for i := 0; i < trials; i++ {
+			tr, err := nw.NewTrial(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := nw.Route(tr, deadline, false, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Delivered {
+				delivered++
+			}
+			lm, err := nw.ModelDeliveryLossy(tr, deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lossyModel += lm
+			im, err := nw.ModelDelivery(tr, deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idealModel += im
+		}
+		return float64(delivered) / trials, lossyModel / trials, idealModel / trials
+	}
+	s0, lm0, im0 := eval(0)
+	s5, lm5, im5 := eval(0.5)
+	if !(s0 > s5) {
+		t.Fatalf("simulated delivery did not degrade: %.3f at p=0 vs %.3f at p=0.5", s0, s5)
+	}
+	if !(lm0 > lm5) {
+		t.Fatalf("thinned model did not degrade: %.3f at p=0 vs %.3f at p=0.5", lm0, lm5)
+	}
+	if im0 != im5 {
+		t.Fatalf("ideal model moved with the fault rate: %.3f vs %.3f", im0, im5)
+	}
+}
+
+// TestTraceRouteLossy: trace replay under faults loses contacts —
+// never gains them — and failure 0 reproduces Route exactly.
+func TestTraceRouteLossy(t *testing.T) {
+	tn := buildTraceNetwork(t)
+	var base, faulted int
+	for i := 0; i < 30; i++ {
+		tr, err := tn.NewTrial(i, 10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r0, err := tn.Route(tr, 1e6, 1, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rz, err := tn.RouteLossy(tr, 1e6, 1, false, false, 0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r0, rz) {
+			t.Fatalf("trial %d: RouteLossy(0) diverged from Route", i)
+		}
+		rf, err := tn.RouteLossy(tr, 1e6, 1, false, false, 0.6, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r0.Delivered {
+			base++
+		}
+		if rf.Delivered {
+			faulted++
+		}
+	}
+	if faulted > base {
+		t.Fatalf("faulted trace delivered more (%d) than unfaulted (%d)", faulted, base)
+	}
+	if _, err := tn.RouteLossy(&TraceTrial{}, 1, 1, false, false, 1.2, 0); err == nil {
+		t.Fatal("accepted failure probability > 1")
+	}
+}

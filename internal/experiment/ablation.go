@@ -21,6 +21,7 @@ func AblationRegistry() (map[string]Generator, []string) {
 	reg := map[string]Generator{
 		"ablation-baselines":   AblationBaselines,
 		"ablation-buffers":     AblationBuffers,
+		"ablation-faults":      AblationFaults,
 		"ablation-predecessor": AblationPredecessor,
 		"ablation-spray":       AblationSpray,
 		"ablation-traceable":   AblationTraceableModel,
@@ -58,6 +59,7 @@ func AblationSpray(opt Options) (*Figure, error) {
 		cfg.Copies = 3
 		cfg.Spray = spray
 		cfg.Seed = opt.Seed
+		cfg.ContactFailure = opt.FaultRate
 		nw, err := core.NewNetwork(cfg)
 		if err != nil {
 			return nil, err
@@ -295,6 +297,7 @@ func AblationModelGap(opt Options) (*Figure, error) {
 		cfg := core.DefaultConfig()
 		cfg.MaxICT = maxICT
 		cfg.Seed = opt.Seed
+		cfg.ContactFailure = opt.FaultRate
 		nw, err := core.NewNetwork(cfg)
 		if err != nil {
 			return nil, err

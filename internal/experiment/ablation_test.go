@@ -7,7 +7,7 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	reg, ids := AblationRegistry()
-	if len(ids) != 7 {
+	if len(ids) != 8 {
 		t.Fatalf("ablations = %d", len(ids))
 	}
 	for _, id := range ids {

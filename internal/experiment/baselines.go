@@ -34,6 +34,7 @@ func AblationBaselines(opt Options) (*Figure, error) {
 
 	onionCfg := core.DefaultConfig()
 	onionCfg.Seed = opt.Seed
+	onionCfg.ContactFailure = opt.FaultRate
 	onionNet, err := core.NewNetwork(onionCfg)
 	if err != nil {
 		return nil, err
@@ -95,7 +96,10 @@ func AblationBaselines(opt Options) (*Figure, error) {
 		if err != nil {
 			return baselineTrial{}, err
 		}
-		sim.RunSynthetic(g, maxT, s.Split("contacts"), sim.Fanout{epi, bin, pro, dir})
+		// The fault layer drops each contact for the whole fan-out at
+		// once, so the paired comparison stays paired under faults.
+		sim.RunSynthetic(g, maxT, s.Split("contacts"),
+			sim.Lossy(sim.Fanout{epi, bin, pro, dir}, opt.FaultRate, s.Split("faults")))
 		for bi, r := range []routing.BaselineResult{
 			epi.Result(), bin.Result(), pro.Result(), dir.Result(),
 		} {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/contact"
+	"repro/internal/fault"
 	"repro/internal/node"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -49,6 +50,7 @@ func AblationBuffers(opt Options) (*Figure, error) {
 					Spray:       true,
 					AntiPackets: anti,
 					BufferLimit: int(lim),
+					Faults:      fault.Uniform(opt.FaultRate),
 				})
 				if err != nil {
 					return nil, err

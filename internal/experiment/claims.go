@@ -222,6 +222,29 @@ func ClaimsFor(id string) []Claim {
 				Check: seriesOrdered("No acknowledgements", "Anti-packets"),
 			},
 		}
+	case "ablation-faults":
+		return []Claim{
+			{
+				Paper: "(reproduction) thinning every contact rate to λ(1−p) lowers the analytical delivery rate monotonically",
+				Check: decreasing("Analysis (thinned to λ(1-p))"),
+			},
+			{
+				Paper: "(reproduction) the ideal Eq. 4-7 analysis upper-bounds the thinned analysis, meeting it at fault rate 0",
+				Check: dominates("Analysis (Eq. 4-7, ideal contacts)", "Analysis (thinned to λ(1-p))", 0.001),
+			},
+			{
+				Paper: "(reproduction) injected contact loss degrades the abstract simulation's delivery",
+				Check: endpointDrop("Simulation (abstract, lossy contacts)"),
+			},
+			{
+				Paper: "(reproduction) truncation/corruption/duplication/churn degrade the full-crypto runtime's delivery",
+				Check: endpointDrop("Runtime (full crypto, uniform faults)"),
+			},
+			{
+				Paper: "(reproduction) faults change availability, not anonymity: path anonymity is flat at fixed c/n",
+				Check: flat("Path anonymity (model, c/n=10%)"),
+			},
+		}
 	case "ablation-predecessor":
 		return []Claim{
 			{
@@ -485,5 +508,35 @@ func marginalGain(a, b string, maxGain float64) func(*Figure) (bool, string) {
 		gain := stats.Mean(sb.Y) - stats.Mean(sa.Y)
 		return gain >= -0.05 && gain <= maxGain,
 			fmt.Sprintf("mean gain of %s over %s = %.3f (window [-0.05, %.2f])", b, a, gain, maxGain)
+	}
+}
+
+// endpointDrop checks the series ends strictly below where it started
+// — a degradation claim robust to mid-sweep Monte Carlo noise.
+func endpointDrop(name string) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		s, ok, msg := getSeries(f, name)
+		if !ok {
+			return false, msg
+		}
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		return last < first, fmt.Sprintf("%s endpoint %.3f vs start %.3f", name, last, first)
+	}
+}
+
+// flat checks every point of the series equals the first exactly (for
+// analytical series that must not react to the swept parameter).
+func flat(name string) func(*Figure) (bool, string) {
+	return func(f *Figure) (bool, string) {
+		s, ok, msg := getSeries(f, name)
+		if !ok {
+			return false, msg
+		}
+		for i, y := range s.Y {
+			if y != s.Y[0] {
+				return false, fmt.Sprintf("%s moves at x=%v: %.6f vs %.6f", name, s.X[i], y, s.Y[0])
+			}
+		}
+		return true, fmt.Sprintf("%s constant at %.3f", name, s.Y[0])
 	}
 }

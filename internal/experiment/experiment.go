@@ -26,6 +26,14 @@ type Options struct {
 	SecurityRuns int // sampled paths per security point
 	TraceRuns    int // routed messages per trace figure (paper: 50)
 	Workers      int // concurrent trial workers (0 = GOMAXPROCS); figures are byte-identical for any value
+	// FaultRate injects the deterministic fault layer into every
+	// generator that drives contacts: abstract simulations thin each
+	// pair process to λ(1−p) (core.Config.ContactFailure), trace
+	// replays drop each contact with probability p, and the runtime
+	// figures run under fault.Uniform(p). Analytical "model" series
+	// stay at the paper's ideal-contact curves. 0 (the default) is
+	// byte-identical to a build without the fault layer.
+	FaultRate float64
 }
 
 // DefaultOptions returns a balanced effort level.
@@ -39,6 +47,9 @@ func (o Options) validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("experiment: workers must be non-negative (0 = GOMAXPROCS): %+v", o)
+	}
+	if o.FaultRate < 0 || o.FaultRate >= 1 {
+		return fmt.Errorf("experiment: fault rate %v out of [0,1)", o.FaultRate)
 	}
 	return nil
 }

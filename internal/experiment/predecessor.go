@@ -41,6 +41,7 @@ func AblationPredecessor(opt Options) (*Figure, error) {
 		cfg.Copies = tc.copies
 		cfg.Spray = tc.spray
 		cfg.Seed = opt.Seed
+		cfg.ContactFailure = opt.FaultRate
 		nw, err := core.NewNetwork(cfg)
 		if err != nil {
 			return nil, err

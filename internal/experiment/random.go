@@ -57,6 +57,7 @@ func deliveryCurves(opt Options, cfgs []labeledConfig, deadlines []float64) ([]s
 	for _, lc := range cfgs {
 		lcfg := lc.cfg
 		lcfg.Seed = opt.Seed
+		lcfg.ContactFailure = opt.FaultRate
 		nw, err := core.NewNetwork(lcfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiment: %s: %w", lc.label, err)
@@ -372,6 +373,7 @@ func Fig11(opt Options) (*Figure, error) {
 		cfg := core.DefaultConfig()
 		cfg.Copies = l
 		cfg.Seed = opt.Seed
+		cfg.ContactFailure = opt.FaultRate
 		nw, err := core.NewNetwork(cfg)
 		if err != nil {
 			return nil, err

@@ -61,7 +61,7 @@ func traceDeliveryCurves(opt Options, tn *core.TraceNetwork, g int, copyCounts [
 			if err != nil {
 				return traceTrialOutcome{}, err
 			}
-			res, err := tn.Route(trial, maxT, l, true, false)
+			res, err := tn.RouteLossy(trial, maxT, l, true, false, opt.FaultRate, l*1000000+i)
 			if err != nil {
 				return traceTrialOutcome{}, err
 			}

@@ -1,18 +1,20 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
+	"repro/internal/bundle"
 	"repro/internal/contact"
+	"repro/internal/fault"
 	"repro/internal/groups"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// maybeCorrupt and the carried/bundle conversions live in wire.go.
+// The carried/bundle conversions live in wire.go.
 
 // Config configures a runtime network.
 type Config struct {
@@ -23,10 +25,16 @@ type Config struct {
 	// spare tickets may give a copy to any node, which carries the
 	// ciphertext until it meets a member of the addressed group.
 	Spray bool
-	// CorruptProb injects transport faults: each hand-off is corrupted
-	// (one flipped byte) with this probability. Authenticated
-	// encryption makes receivers reject corrupt onions; the sender
-	// keeps custody and retries at a later contact.
+	// Faults configures the deterministic fault-injection layer:
+	// truncated transfers (retried in-contact, then re-offered at the
+	// next meeting), corrupting byte flips (rejected by the bundle CRC
+	// or onion AEAD, dropped gracefully), duplicate redelivery
+	// (suppressed by the receiver's seen log), and node churn.
+	Faults fault.Config
+	// CorruptProb is the legacy single-knob spelling of
+	// Faults.Corrupt: each hand-off is corrupted (one flipped byte)
+	// with this probability. It is folded into Faults at construction
+	// and kept for config compatibility.
 	CorruptProb float64
 	// BufferLimit caps each node's custody buffer (0 = unlimited).
 	// A full node refuses new custody — the sender retries with other
@@ -41,14 +49,12 @@ type Config struct {
 }
 
 // Network owns the nodes, the shared group directory, and the
-// fault-injection state. Meet is safe for concurrent use.
+// fault-injection plan. Meet is safe for concurrent use.
 type Network struct {
 	cfg   Config
 	dir   *groups.Directory
 	nodes []*Node
-
-	mu    sync.Mutex // guards faults
-	fault *rng.Stream
+	plan  *fault.Plan
 }
 
 // NewNetwork provisions n nodes, a random onion-group partition of
@@ -63,6 +69,17 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.BufferLimit < 0 {
 		return nil, fmt.Errorf("node: negative buffer limit %d", cfg.BufferLimit)
 	}
+	// Fold the legacy corruption knob into the fault config. The draw
+	// sequence (one Bernoulli per hand-off, one IntN on a hit, flip of
+	// one bit) is identical to the pre-fault-layer behavior, so
+	// CorruptProb-seeded runs reproduce their historical schedules.
+	faults := cfg.Faults
+	if cfg.CorruptProb > 0 && faults.Corrupt == 0 {
+		faults.Corrupt = cfg.CorruptProb
+	}
+	if err := faults.Validate(); err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
 	root := rng.New(cfg.Seed)
 	dir, err := groups.NewPartition(cfg.Nodes, cfg.GroupSize, root.Split("partition"))
 	if err != nil {
@@ -71,7 +88,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err := dir.ProvisionKeys(); err != nil {
 		return nil, err
 	}
-	nw := &Network{cfg: cfg, dir: dir, fault: root.Split("faults")}
+	nw := &Network{cfg: cfg, dir: dir, plan: fault.NewPlan(faults, root.Split("faults"))}
 	nw.nodes = make([]*Node, cfg.Nodes)
 	for i := range nw.nodes {
 		nw.nodes[i] = newNode(contact.NodeID(i), dir, cfg.BufferLimit)
@@ -94,7 +111,11 @@ func (nw *Network) Directory() *groups.Directory { return nw.dir }
 type MeetReport struct {
 	Transfers  int // onions that changed custody
 	Deliveries int // payloads that reached their destination
-	Rejected   int // hand-offs rejected (tampering)
+	Rejected   int // hand-offs rejected (tampering, truncation)
+	Truncated  int // hand-offs torn mid-transfer
+	Corrupted  int // hand-offs damaged by byte flips
+	Retried    int // in-contact retransmissions after a tear
+	Duplicates int // redeliveries suppressed by the receiver
 }
 
 // Meet executes a contact between nodes x and y at the given time:
@@ -114,6 +135,21 @@ func (nw *Network) Meet(x, y contact.NodeID, now float64) MeetReport {
 	defer first.mu.Unlock()
 	second.mu.Lock()
 	defer second.mu.Unlock()
+
+	// Node churn: each participant may crash and restart at the start
+	// of the contact. Rolls are drawn in ID order so a contact's fate
+	// does not depend on the direction it was reported in. Crash()
+	// consumes no stream state when churn is disabled, keeping
+	// zero-fault schedules byte-identical.
+	if nw.plan.CrashEnabled() {
+		preserve := nw.plan.Config().PreserveCustody
+		if nw.plan.Crash() {
+			first.crashLocked(preserve)
+		}
+		if nw.plan.Crash() {
+			second.crashLocked(preserve)
+		}
+	}
 
 	a.expireLocked(now)
 	b.expireLocked(now)
@@ -175,17 +211,26 @@ func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport) {
 			// error; surface it loudly rather than silently dropping.
 			panic(fmt.Sprintf("node: marshal custody of %s: %v", id, err))
 		}
-		incoming, err := receiveFrame(nw.maybeCorrupt(frame))
-		if err != nil {
-			// Frame damaged in transit: the receiver never saw a valid
-			// bundle; the sender keeps custody and retries later.
-			receiver.stats.Rejected++
-			rep.Rejected++
+		incoming, dup := nw.handoffLocked(sender, receiver, frame, rep)
+		if incoming == nil {
+			// Transfer failed every attempt: the receiver never saw a
+			// valid bundle; the sender keeps custody and re-offers at a
+			// later contact (the inter-contact gap is the backoff).
 			continue
 		}
 		if err := receiver.acceptLocked(incoming); err != nil {
 			rep.Rejected++
 			continue
+		}
+		if dup != nil {
+			// Duplicate redelivery: the same frame arrives again. The
+			// receiver's seen log must suppress it — a second accept
+			// would double-deliver to the application layer.
+			if err := receiver.acceptLocked(dup); err == nil {
+				panic(fmt.Sprintf("node: duplicate redelivery of %s accepted twice", id))
+			}
+			receiver.stats.Duplicates++
+			rep.Duplicates++
 		}
 		sender.stats.Forwarded++
 		rep.Transfers++
@@ -199,25 +244,55 @@ func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport) {
 	}
 }
 
-// maybeCorrupt returns the data, flipping one byte with the configured
-// probability (always on a copy).
-func (nw *Network) maybeCorrupt(data []byte) []byte {
-	if nw.cfg.CorruptProb <= 0 || len(data) == 0 {
-		return data
+// handoffLocked pushes one frame across the (possibly faulty) wire,
+// retrying in-contact after truncated transfers up to the configured
+// retry budget. It returns the parsed custody record on success (nil
+// if every attempt failed) plus a second parsed record when the fault
+// plan schedules a duplicate redelivery. Both locks are held.
+func (nw *Network) handoffLocked(sender, receiver *Node, frame []byte, rep *MeetReport) (incoming, dup *carried) {
+	retries := nw.plan.Config().Retries
+	for attempt := 0; ; attempt++ {
+		h := nw.plan.Handoff(len(frame))
+		wire := frame
+		switch {
+		case h.Truncate:
+			wire = fault.Truncate(frame, h.Cut)
+		case h.Corrupt:
+			wire = fault.Flip(frame, h.Flip)
+		}
+		incoming, err := receiveFrame(wire)
+		if err == nil {
+			if h.Duplicate {
+				// Parse the duplicate independently: the receiver
+				// validates every frame it is handed, even repeats.
+				if dup, err = receiveFrame(wire); err != nil {
+					panic(fmt.Sprintf("node: duplicate of valid frame failed to parse: %v", err))
+				}
+			}
+			return incoming, dup
+		}
+		receiver.stats.Rejected++
+		rep.Rejected++
+		if errors.Is(err, bundle.ErrTruncated) {
+			// Torn transfer: the peer is still in contact, so the
+			// sender retransmits immediately (short backoff) until the
+			// in-contact budget is spent.
+			receiver.stats.Truncated++
+			rep.Truncated++
+			if attempt < retries {
+				sender.stats.Retried++
+				rep.Retried++
+				continue
+			}
+			return nil, nil
+		}
+		// Corruption (CRC/tamper class): drop gracefully, no
+		// retransmission — a flipped frame signals a bad link, not an
+		// aborted transfer.
+		receiver.stats.Corrupted++
+		rep.Corrupted++
+		return nil, nil
 	}
-	nw.mu.Lock()
-	hit := nw.fault.Bernoulli(nw.cfg.CorruptProb)
-	var pos int
-	if hit {
-		pos = nw.fault.IntN(len(data))
-	}
-	nw.mu.Unlock()
-	if !hit {
-		return data
-	}
-	out := append([]byte(nil), data...)
-	out[pos] ^= 0x01
-	return out
 }
 
 // TotalStats aggregates all node counters.
@@ -233,6 +308,12 @@ func (nw *Network) TotalStats() Stats {
 		total.Refused += s.Refused
 		total.Expired += s.Expired
 		total.Purged += s.Purged
+		total.Truncated += s.Truncated
+		total.Corrupted += s.Corrupted
+		total.Retried += s.Retried
+		total.Duplicates += s.Duplicates
+		total.Crashes += s.Crashes
+		total.CrashDropped += s.CrashDropped
 	}
 	return total
 }

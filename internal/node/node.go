@@ -35,6 +35,14 @@ type Stats struct {
 	Refused   int // transfers refused (buffer full)
 	Expired   int // onions dropped at their deadline
 	Purged    int // onions dropped after a delivery acknowledgement
+
+	// Fault-injection observables (zero without injected faults).
+	Truncated    int // incoming frames torn mid-transfer
+	Corrupted    int // incoming frames damaged by byte flips
+	Retried      int // in-contact retransmissions after a torn frame
+	Duplicates   int // redelivered frames suppressed by the seen log
+	Crashes      int // crash/restart events at contacts
+	CrashDropped int // custody onions lost to volatile-buffer crashes
 }
 
 // carried is one onion in a node's buffer.
@@ -289,6 +297,21 @@ func (n *Node) KnowsDelivered(msgID string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.acks[msgID]
+}
+
+// crashLocked models a crash/restart at a contact (node churn). The
+// volatile custody buffer is lost unless the node persists custody to
+// stable storage; the delivered-payload log, the duplicate-suppression
+// log, and known acknowledgements are durable state — a restarted node
+// must still deliver each message to its application layer exactly
+// once. The caller holds n.mu.
+func (n *Node) crashLocked(preserveCustody bool) {
+	n.stats.Crashes++
+	if preserveCustody || len(n.buffer) == 0 {
+		return
+	}
+	n.stats.CrashDropped += len(n.buffer)
+	n.buffer = make(map[string]*carried)
 }
 
 // expireLocked drops onions past their deadline. The caller holds n.mu.

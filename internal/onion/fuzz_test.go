@@ -1,0 +1,125 @@
+package onion
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// fixedCipher builds a layer cipher from a deterministic key so fuzz
+// seed corpora are stable across runs.
+func fixedCipher(tb testing.TB, fill byte) *SymmetricCipher {
+	tb.Helper()
+	c, err := NewSymmetricCipher(bytes.Repeat([]byte{fill}, KeySize))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// fixedOnion builds a 2-hop onion under deterministic keys and returns
+// it with the outer-layer and destination ciphers.
+func fixedOnion(tb testing.TB) (onion []byte, outer, dest *SymmetricCipher) {
+	tb.Helper()
+	outer = fixedCipher(tb, 0x11)
+	inner := fixedCipher(tb, 0x22)
+	dest = fixedCipher(tb, 0x33)
+	hops := []Hop{{Group: 1, Cipher: outer}, {Group: 2, Cipher: inner}}
+	on, err := Build(7, []byte("fuzz payload"), hops, dest, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return on, outer, dest
+}
+
+// FuzzPeel hammers layer decryption with arbitrary ciphertexts: it
+// must never panic, and anything it accepts under the fuzzed key must
+// be a structurally sane layer. The seed corpus includes the exact
+// torn and flipped onions the fault layer produces.
+func FuzzPeel(f *testing.F) {
+	onion, outer, _ := fixedOnion(f)
+	f.Add(onion)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Add(fault.Truncate(onion, len(onion)/2))
+	f.Add(fault.Truncate(onion, 1))
+	plan := fault.NewPlan(fault.Uniform(1), rng.New(2).Split("faults"))
+	for i := 0; i < 8; i++ {
+		h := plan.Handoff(len(onion))
+		switch {
+		case h.Truncate:
+			f.Add(fault.Truncate(onion, h.Cut))
+		case h.Corrupt:
+			f.Add(fault.Flip(onion, h.Flip))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Peel(data, outer)
+		if err != nil {
+			return
+		}
+		// AEAD forgery is out of reach for the fuzzer, so anything that
+		// opens is an authentic build under this key. Build's nonces
+		// are random, so corpus entries from other processes are valid
+		// onions with different bytes — check the decoded layer, not
+		// the ciphertext: every seed onion routes to group 2 next.
+		if p.Deliver || p.NextGroup != 2 {
+			t.Fatalf("peeled layer is not the seed structure: %+v (input %d bytes)", p, len(data))
+		}
+	})
+}
+
+// FuzzUnwrap hammers the destination-side payload recovery: no panics,
+// and only the authentic inner body may open.
+func FuzzUnwrap(f *testing.F) {
+	dest := fixedCipher(f, 0x33)
+	body, err := dest.Seal([]byte{0, 0, 0, 5, 'h', 'e', 'l', 'l', 'o'})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(body)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x00}, 32))
+	f.Add(fault.Truncate(body, len(body)-1))
+	f.Add(fault.Flip(body, 0))
+	f.Add(fault.Flip(body, len(body)-1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Unwrap(data, dest)
+		if err != nil {
+			return
+		}
+		// Seal's nonce is random, so authentic bodies from other fuzz
+		// processes differ bytewise; the recovered plaintext is the
+		// invariant.
+		if string(payload) != "hello" {
+			t.Fatalf("unwrap opened but recovered %q, want \"hello\"", payload)
+		}
+	})
+}
+
+// TestOnionCorruptTamperEveryByte is the AEAD counterpart of the
+// bundle CRC flip sweep: every single-byte flip of an onion must make
+// Peel fail, so a corrupted onion can never advance along the path.
+func TestOnionCorruptTamperEveryByte(t *testing.T) {
+	onion, outer, _ := fixedOnion(t)
+	for i := range onion {
+		if _, err := Peel(fault.Flip(onion, i), outer); err == nil {
+			t.Fatalf("flip at byte %d peeled successfully", i)
+		}
+	}
+}
+
+// TestOnionTruncationRejected sweeps every tear point of an onion
+// through Peel: no torn ciphertext may open.
+func TestOnionTruncationRejected(t *testing.T) {
+	onion, outer, _ := fixedOnion(t)
+	for keep := 0; keep < len(onion); keep++ {
+		if _, err := Peel(fault.Truncate(onion, keep), outer); err == nil {
+			t.Fatalf("onion torn at %d bytes peeled successfully", keep)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TestSampleOnionLossyZeroMatchesExact pins the acceptance criterion
+// that fault rate 0 changes nothing: SampleOnionLossy(failure=0) must
+// reproduce SampleOnion byte-for-byte, draw-for-draw.
+func TestSampleOnionLossyZeroMatchesExact(t *testing.T) {
+	g := contact.NewRandom(20, 1, 60, rng.New(5))
+	p := Params{Src: 0, Dst: 19, Sets: [][]contact.NodeID{{1, 2, 3}, {4, 5, 6}}, Copies: 2, Spray: true}
+	for i := 0; i < 200; i++ {
+		a, err := SampleOnion(g, p, 300, rng.New(uint64(i)).Split("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SampleOnionLossy(g, p, 300, 0, rng.New(uint64(i)).Split("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("run %d: lossy(0) diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSampleOnionLossyValidation(t *testing.T) {
+	g := contact.NewRandom(10, 1, 30, rng.New(1))
+	p := Params{Src: 0, Dst: 9, Sets: [][]contact.NodeID{{1, 2}}, Copies: 1}
+	if _, err := SampleOnionLossy(g, p, 100, -0.1, rng.New(2)); err == nil {
+		t.Fatal("accepted negative failure probability")
+	}
+	if _, err := SampleOnionLossy(g, p, 100, 1.5, rng.New(2)); err == nil {
+		t.Fatal("accepted failure probability > 1")
+	}
+	r, err := SampleOnionLossy(g, p, 100, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered || r.Transmissions != 0 {
+		t.Fatalf("message moved when every contact fails: %+v", r)
+	}
+}
+
+// TestSampleOnionLossyMonotone: raising the fault rate can only hurt
+// delivery at a fixed deadline.
+func TestSampleOnionLossyMonotone(t *testing.T) {
+	g := contact.NewRandom(30, 1, 60, rng.New(9))
+	p := Params{Src: 0, Dst: 29, Sets: [][]contact.NodeID{{1, 2, 3}, {4, 5, 6}}, Copies: 2, Spray: true}
+	const runs = 1500
+	rate := func(failure float64) float64 {
+		delivered := 0
+		for i := 0; i < runs; i++ {
+			r, err := SampleOnionLossy(g, p, 60, failure, rng.New(uint64(i)).Split("m"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Delivered {
+				delivered++
+			}
+		}
+		return float64(delivered) / runs
+	}
+	r0, r3, r6 := rate(0), rate(0.3), rate(0.6)
+	if !(r0 > r3 && r3 > r6) {
+		t.Fatalf("delivery not monotone in fault rate: %.3f, %.3f, %.3f at failures 0, 0.3, 0.6", r0, r3, r6)
+	}
+}
+
+// TestLossySamplerMatchesLossyEngine is the Poisson-thinning
+// cross-check: scaling every candidate rate by (1-p) in the direct
+// sampler must be statistically indistinguishable from running the
+// full DES engine with each contact independently dropped with
+// probability p (sim.Lossy). Validates both fault-layer faces at once.
+func TestLossySamplerMatchesLossyEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical cross-check")
+	}
+	g := contact.NewRandom(25, 1, 60, rng.New(77))
+	sets := [][]contact.NodeID{{1, 2, 3}, {4, 5, 6}}
+	p := Params{Src: 0, Dst: 24, Sets: sets, Copies: 2, Spray: true}
+	const failure = 0.3
+	const runs = 3000
+	const deadline = 600
+
+	var sampleDelivered, engineDelivered int
+	var sampleTimes, engineTimes []float64
+	for i := 0; i < runs; i++ {
+		r, err := SampleOnionLossy(g, p, deadline, failure, rng.New(uint64(i)).Split("s"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Delivered {
+			sampleDelivered++
+			sampleTimes = append(sampleTimes, r.Time)
+		}
+		o, err := NewOnion(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossy := sim.Lossy(o, failure, rng.New(uint64(i)).Split("drop"))
+		sim.RunSynthetic(g, deadline, rng.New(uint64(i)).Split("e"), lossy)
+		if er := o.Result(); er.Delivered {
+			engineDelivered++
+			engineTimes = append(engineTimes, er.Time)
+		}
+	}
+	sRate := float64(sampleDelivered) / runs
+	eRate := float64(engineDelivered) / runs
+	if math.Abs(sRate-eRate) > 0.03 {
+		t.Fatalf("delivery under faults: thinned sampler %v vs lossy engine %v", sRate, eRate)
+	}
+	same, d, err := stats.KSSameDistribution(sampleTimes, engineTimes, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatalf("faulted delivery-time distributions differ: KS D = %v over %d/%d samples",
+			d, len(sampleTimes), len(engineTimes))
+	}
+}

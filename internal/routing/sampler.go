@@ -21,6 +21,19 @@ import (
 // The message starts at p.StartTime and is abandoned at
 // p.StartTime + deadline (Algorithm 1/2 error handling).
 func SampleOnion(g *contact.Graph, p Params, deadline float64, s *rng.Stream) (Result, error) {
+	return SampleOnionLossy(g, p, deadline, 0, s)
+}
+
+// SampleOnionLossy is SampleOnion under the fault layer's per-contact
+// failure probability: each contact independently fails with
+// probability failure before any hand-off can happen. By Poisson
+// thinning, a rate-λ pair process whose points are each kept with
+// probability 1−failure is exactly a Poisson process of rate
+// λ(1−failure), so the direct sampler stays EXACT under faults by
+// scaling every candidate rate — no extra draws, no approximation.
+// failure = 0 multiplies every rate by exactly 1.0, so it reproduces
+// SampleOnion's schedule byte-for-byte.
+func SampleOnionLossy(g *contact.Graph, p Params, deadline, failure float64, s *rng.Stream) (Result, error) {
 	o, err := NewOnion(p)
 	if err != nil {
 		return Result{}, err
@@ -28,6 +41,14 @@ func SampleOnion(g *contact.Graph, p Params, deadline float64, s *rng.Stream) (R
 	if deadline <= 0 {
 		return Result{}, fmt.Errorf("routing: deadline must be positive, got %v", deadline)
 	}
+	if failure < 0 || failure >= 1 {
+		if failure == 1 {
+			// Every contact fails: the message never leaves the source.
+			return o.Result(), nil
+		}
+		return Result{}, fmt.Errorf("routing: contact failure %v out of [0,1]", failure)
+	}
+	keep := 1 - failure
 	if p.Src < 0 || int(p.Src) >= g.N() || p.Dst < 0 || int(p.Dst) >= g.N() {
 		return Result{}, fmt.Errorf("routing: endpoints (%d, %d) out of graph range", p.Src, p.Dst)
 	}
@@ -62,7 +83,7 @@ func SampleOnion(g *contact.Graph, p Params, deadline float64, s *rng.Stream) (R
 					if o.isHolding(r) {
 						continue
 					}
-					if rate := g.Rate(h, r); rate > 0 {
+					if rate := keep * g.Rate(h, r); rate > 0 {
 						cands = append(cands, cand{h, r, rate})
 						total += rate
 					}
@@ -73,7 +94,7 @@ func SampleOnion(g *contact.Graph, p Params, deadline float64, s *rng.Stream) (R
 						if node == p.Src || node == p.Dst || o.isHolding(node) || o.members[0][node] {
 							continue
 						}
-						if rate := g.Rate(h, node); rate > 0 {
+						if rate := keep * g.Rate(h, node); rate > 0 {
 							cands = append(cands, cand{h, node, rate})
 							total += rate
 						}
@@ -81,7 +102,7 @@ func SampleOnion(g *contact.Graph, p Params, deadline float64, s *rng.Stream) (R
 				}
 			case st.stage == len(p.Sets):
 				if !o.res.Delivered {
-					if rate := g.Rate(h, p.Dst); rate > 0 {
+					if rate := keep * g.Rate(h, p.Dst); rate > 0 {
 						cands = append(cands, cand{h, p.Dst, rate})
 						total += rate
 					}
@@ -91,7 +112,7 @@ func SampleOnion(g *contact.Graph, p Params, deadline float64, s *rng.Stream) (R
 					if o.isHolding(r) {
 						continue
 					}
-					if rate := g.Rate(h, r); rate > 0 {
+					if rate := keep * g.Rate(h, r); rate > 0 {
 						cands = append(cands, cand{h, r, rate})
 						total += rate
 					}

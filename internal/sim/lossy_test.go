@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/rng"
+)
+
+type lossRecorder struct {
+	times []float64
+	done  bool
+}
+
+func (r *lossRecorder) OnContact(t float64, a, b contact.NodeID) { r.times = append(r.times, t) }
+func (r *lossRecorder) Done() bool                               { return r.done }
+
+func TestLossyZeroProbIsIdentity(t *testing.T) {
+	r := &lossRecorder{}
+	if got := Lossy(r, 0, rng.New(1)); got != Protocol(r) {
+		t.Fatal("Lossy(p=0) wrapped the protocol")
+	}
+	if got := Lossy(r, -0.5, rng.New(1)); got != Protocol(r) {
+		t.Fatal("Lossy(p<0) wrapped the protocol")
+	}
+}
+
+func TestLossyDropsAllAtOne(t *testing.T) {
+	r := &lossRecorder{}
+	g := contact.NewRandom(5, 1, 2, rng.New(11))
+	n := RunSynthetic(g, 50, rng.New(2), Lossy(r, 1, rng.New(3)))
+	if n == 0 {
+		t.Fatal("no contacts generated")
+	}
+	if len(r.times) != 0 {
+		t.Fatalf("inner protocol saw %d contacts at failure probability 1", len(r.times))
+	}
+}
+
+func TestLossyThinsContacts(t *testing.T) {
+	full := &lossRecorder{}
+	g := contact.NewRandom(5, 1, 2, rng.New(11))
+	total := RunSynthetic(g, 200, rng.New(2), full)
+
+	thin := &lossRecorder{}
+	RunSynthetic(g, 200, rng.New(2), Lossy(thin, 0.5, rng.New(3)))
+	if len(thin.times) == 0 || len(thin.times) >= total {
+		t.Fatalf("thinned %d of %d contacts, want a strict nonempty subset", len(thin.times), total)
+	}
+	frac := float64(len(thin.times)) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("survival fraction %.3f, want ~0.5 over %d contacts", frac, total)
+	}
+	// Surviving contacts are a subsequence of the full realization:
+	// loss never reorders or retimes events.
+	i := 0
+	for _, ct := range thin.times {
+		for i < len(full.times) && full.times[i] != ct {
+			i++
+		}
+		if i == len(full.times) {
+			t.Fatalf("thinned contact at t=%v not present in the full realization", ct)
+		}
+		i++
+	}
+}
+
+func TestLossyDeterministic(t *testing.T) {
+	run := func() []float64 {
+		r := &lossRecorder{}
+		g := contact.NewRandom(4, 1, 2, rng.New(12))
+		RunSynthetic(g, 100, rng.New(5), Lossy(r, 0.3, rng.New(6)))
+		return r.times
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("lossy schedule not reproducible for a fixed seed")
+	}
+}
+
+func TestLossyDone(t *testing.T) {
+	r := &lossRecorder{}
+	l := Lossy(r, 0.5, rng.New(1))
+	if l.Done() {
+		t.Fatal("Done() = true before inner is done")
+	}
+	r.done = true
+	if !l.Done() {
+		t.Fatal("Done() = false after inner is done")
+	}
+}

@@ -155,3 +155,45 @@ func (f Fanout) Done() bool {
 	}
 	return true
 }
+
+// Lossy wraps a protocol with a per-contact failure probability: each
+// contact event independently fails (is dropped before the inner
+// protocol sees it) with probability prob, drawn from the given
+// stream. This is the DES-harness face of the fault layer — a failed
+// contact models a meeting too short or too disturbed to complete any
+// hand-off. By Poisson thinning, dropping each contact of a rate-λ
+// pair process with probability p yields a Poisson process of rate
+// λ(1−p), which is how the closed-form model and the direct sampler
+// account for the same fault rate.
+//
+// prob <= 0 returns the inner protocol unchanged (and consumes no
+// stream state), so the zero-fault configuration is byte-identical to
+// an unwrapped run.
+func Lossy(inner Protocol, prob float64, s *rng.Stream) Protocol {
+	if prob <= 0 {
+		return inner
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	return &lossy{inner: inner, prob: prob, s: s}
+}
+
+type lossy struct {
+	inner Protocol
+	prob  float64
+	s     *rng.Stream
+}
+
+// OnContact implements Protocol, dropping the contact on a failure
+// draw. One Bernoulli draw is consumed per contact delivered to the
+// wrapper, regardless of outcome, so schedules reproduce.
+func (l *lossy) OnContact(t float64, a, b contact.NodeID) {
+	if l.s.Bernoulli(l.prob) {
+		return
+	}
+	l.inner.OnContact(t, a, b)
+}
+
+// Done implements Protocol.
+func (l *lossy) Done() bool { return l.inner.Done() }
