@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // benchOptions keeps one figure generation per benchmark iteration at
@@ -38,6 +39,17 @@ func benchFigure(b *testing.B, gen experiment.Generator) {
 // BenchmarkFig04DeliveryVsDeadlineByGroupSize regenerates Fig. 4:
 // delivery rate vs. deadline for g in {1, 5, 10}.
 func BenchmarkFig04DeliveryVsDeadlineByGroupSize(b *testing.B) { benchFigure(b, experiment.Fig04) }
+
+// BenchmarkFig04Instrumented is BenchmarkFig04 with a live obs
+// collector installed, as `-manifest` does. Comparing its ns/op
+// against the uninstrumented benchmark measures the full
+// observability overhead on a real figure (CI gates the ratio and
+// publishes both as BENCH_obs.json).
+func BenchmarkFig04Instrumented(b *testing.B) {
+	obs.Install(obs.NewCollector())
+	defer obs.Install(nil)
+	benchFigure(b, experiment.Fig04)
+}
 
 // BenchmarkFig05DeliveryVsDeadlineByRelays regenerates Fig. 5:
 // delivery rate vs. deadline for K in {3, 5, 10}.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -54,6 +55,9 @@ func run(args []string, out io.Writer) error {
 		saveGraph   = fs.String("save-graph", "", "save the generated contact graph to a file")
 		tracePath   = fs.String("trace", "", "replay a contact trace file instead of a synthetic graph (onion protocol only; deadline in seconds)")
 	)
+	// -trace already means contact-trace replay here, so the runtime
+	// execution-trace profile is spelled -exectrace.
+	rf := obs.AddRunFlagsNamed(fs, "exectrace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,22 +65,53 @@ func run(args []string, out io.Writer) error {
 	if *faults < 0 || *faults >= 1 {
 		return fmt.Errorf("-faults must be in [0,1), got %v", *faults)
 	}
-	if *tracePath != "" {
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be positive, got %d", *runs)
+	}
+	obsRun, err := rf.Begin("dtnsim", args)
+	if err != nil {
+		return err
+	}
+	defer obsRun.Abort()
+
+	endPhase := obs.Current().StartPhase(*protocol)
+	switch {
+	case *tracePath != "":
 		if *protocol != "onion" {
 			return fmt.Errorf("trace replay supports only the onion protocol")
 		}
-		return runTrace(out, *tracePath, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
-	}
-	switch *protocol {
-	case "onion":
-		return runOnion(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *compromised, *faults, *graphPath, *saveGraph)
-	case "runtime":
-		return runRuntime(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
-	case "epidemic", "sprayandwait", "binaryspray", "prophet", "direct":
-		return runBaseline(out, *protocol, *n, *l, *deadline, *runs, *seed, *faults)
+		err = runTrace(out, *tracePath, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
+	case *protocol == "onion":
+		err = runOnion(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *compromised, *faults, *graphPath, *saveGraph)
+	case *protocol == "runtime":
+		err = runRuntime(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
+	case *protocol == "epidemic", *protocol == "sprayandwait", *protocol == "binaryspray",
+		*protocol == "prophet", *protocol == "direct":
+		err = runBaseline(out, *protocol, *n, *l, *deadline, *runs, *seed, *faults)
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
+	endPhase()
+	if err != nil {
+		return err
+	}
+	type manifestConfig struct {
+		Protocol    string  `json:"protocol"`
+		Nodes       int     `json:"nodes"`
+		GroupSize   int     `json:"groupSize"`
+		Relays      int     `json:"relays"`
+		Copies      int     `json:"copies"`
+		Spray       bool    `json:"spray"`
+		Deadline    float64 `json:"deadline"`
+		Runs        int     `json:"runs"`
+		Compromised float64 `json:"compromised"`
+		Trace       string  `json:"trace,omitempty"`
+	}
+	return obsRun.Finish(manifestConfig{
+		Protocol: *protocol, Nodes: *n, GroupSize: *g, Relays: *k, Copies: *l,
+		Spray: *spray, Deadline: *deadline, Runs: *runs, Compromised: *compromised,
+		Trace: *tracePath,
+	}, *seed, 1, *faults)
 }
 
 func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64, frac, faults float64, graphPath, saveGraph string) error {
@@ -163,8 +198,15 @@ func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs 
 		fmt.Fprintf(tw, "mean delay (min)\t%.1f\t-\n", delay.Mean())
 	}
 	fmt.Fprintf(tw, "transmissions\t%.2f\t<= %d\n", tx.Mean(), model.CostMultiCopyBound(k, l))
-	fmt.Fprintf(tw, "traceable rate\t%.4f\t%.4f\n", simTrace.Mean(), nw.ModelTraceableRate(frac))
-	fmt.Fprintf(tw, "path anonymity\t%.4f\t%.4f\n", simAnon.Mean(), nw.ModelPathAnonymity(frac))
+	// Security trials only yield samples when a message was actually
+	// routed past the adversary, so these accumulators can be empty.
+	if simTrace.N() > 0 {
+		fmt.Fprintf(tw, "traceable rate\t%.4f\t%.4f\n", simTrace.Mean(), nw.ModelTraceableRate(frac))
+		fmt.Fprintf(tw, "path anonymity\t%.4f\t%.4f\n", simAnon.Mean(), nw.ModelPathAnonymity(frac))
+	} else {
+		fmt.Fprintf(tw, "traceable rate\tn/a\t%.4f\n", nw.ModelTraceableRate(frac))
+		fmt.Fprintf(tw, "path anonymity\tn/a\t%.4f\n", nw.ModelPathAnonymity(frac))
+	}
 	return tw.Flush()
 }
 
@@ -284,8 +326,13 @@ func runTrace(out io.Writer, path string, g, k, l int, spray bool, deadline floa
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "trace\t%s (%d nodes, %d contacts)\n", path, tr.NodeCount, len(tr.Contacts))
 	fmt.Fprintf(tw, "scenario\tg=%d K=%d L=%d spray=%v T=%v s\n", g, k, l, spray, deadline)
-	fmt.Fprintf(tw, "delivery rate\t%.4f (analysis %.4f over %d/%d fitted trials)\n",
-		float64(delivered)/float64(runs), modelAcc.Mean(), modelled, runs)
+	if modelled > 0 {
+		fmt.Fprintf(tw, "delivery rate\t%.4f (analysis %.4f over %d/%d fitted trials)\n",
+			float64(delivered)/float64(runs), modelAcc.Mean(), modelled, runs)
+	} else {
+		fmt.Fprintf(tw, "delivery rate\t%.4f (analysis n/a, 0/%d fitted trials)\n",
+			float64(delivered)/float64(runs), runs)
+	}
 	if delivered > 0 {
 		fmt.Fprintf(tw, "mean delay (s)\t%.0f\n", delay.Mean())
 	}

@@ -6,6 +6,7 @@
 //
 //	figures -fig all -out results/
 //	figures -fig fig11 -runs 1000
+//	figures -fig fig04 -manifest out.json -cpuprofile cpu.prof
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,9 +45,22 @@ func run(args []string, out *os.File) error {
 		width        = fs.Int("width", 72, "plot width")
 		height       = fs.Int("height", 18, "plot height")
 	)
+	rf := obs.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Create the output directory before Begin so profile/manifest
+	// paths under -out resolve.
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+	obsRun, err := rf.Begin("figures", args)
+	if err != nil {
+		return err
+	}
+	defer obsRun.Abort()
 
 	opt := experiment.DefaultOptions()
 	opt.Seed = *seed
@@ -91,12 +106,6 @@ func run(args []string, out *os.File) error {
 		selected = []string{id}
 	}
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			return fmt.Errorf("create output dir: %w", err)
-		}
-	}
-
 	if *parallel < 1 {
 		*parallel = 1
 	}
@@ -112,11 +121,13 @@ func run(args []string, out *os.File) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			endPhase := obs.Current().StartPhase(id)
 			start := time.Now()
 			fig, err := reg[id](opt)
 			if err == nil {
 				err = fig.Validate()
 			}
+			endPhase()
 			figures[idx], elapsed[idx], errs[idx] = fig, time.Since(start), err
 		}()
 	}
@@ -150,5 +161,15 @@ func run(args []string, out *os.File) error {
 			}
 		}
 	}
-	return nil
+	type manifestConfig struct {
+		Figures      []string `json:"figures"`
+		Runs         int      `json:"runs"`
+		SecurityRuns int      `json:"securityRuns"`
+		TraceRuns    int      `json:"traceRuns"`
+		Parallel     int      `json:"parallel"`
+	}
+	return obsRun.Finish(manifestConfig{
+		Figures: selected, Runs: opt.Runs, SecurityRuns: opt.SecurityRuns,
+		TraceRuns: opt.TraceRuns, Parallel: *parallel,
+	}, opt.Seed, opt.Workers, opt.FaultRate)
 }

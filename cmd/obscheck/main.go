@@ -1,0 +1,59 @@
+// Command obscheck validates a run manifest emitted by -manifest
+// against the obs schema: version match, counter-set completeness in
+// declaration order, non-negative totals, well-formed phases. CI runs
+// it on every instrumented-figure artifact; it is equally handy for
+// checking manifests before archiving them next to EXPERIMENTS.md
+// numbers.
+//
+// Usage:
+//
+//	obscheck run-manifest.json [more.json ...]
+//
+// Exits non-zero on the first invalid manifest. With -counters, the
+// validated counter totals are printed (declaration order) for quick
+// inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	counters := fs.Bool("counters", false, "print the validated counter totals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: obscheck [-counters] <manifest.json> ...")
+	}
+	for _, path := range fs.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		m, err := obs.ValidateManifestBytes(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "%s: valid (version %d, command %q, revision %s, %d phases, %.2fs wall)\n",
+			path, m.Version, m.Command, m.GitRevision, len(m.Phases), m.WallSeconds)
+		if *counters {
+			for _, c := range m.Counters {
+				fmt.Fprintf(out, "  %-36s %d\n", c.Name, c.Value)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func writeManifest(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.json")
+	rf := &obs.RunFlags{ManifestPath: path, Profiles: &obs.Profiles{}}
+	run, err := rf.Begin("obscheck-test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Current().Add(obs.RoutingContacts, 3)
+	if err := run.Finish(map[string]int{"n": 1}, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestObscheckAcceptsValidManifest(t *testing.T) {
+	path := writeManifest(t)
+	if err := run([]string{"-counters", path}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObscheckRejectsCorruptManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, os.Stdout); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if err := run(nil, os.Stdout); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+}

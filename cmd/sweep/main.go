@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -62,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "root random seed")
 		workers     = fs.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS); output is identical for any value")
 	)
+	rf := obs.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,12 +73,24 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := validateParamValues(*param, values); err != nil {
+		return err
+	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
 	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be positive, got %d", *runs)
+	}
+	obsRun, err := rf.Begin("sweep", args)
+	if err != nil {
+		return err
+	}
+	defer obsRun.Abort()
 
 	var points []point
 	for _, v := range values {
+		endPhase := obs.Current().StartPhase(fmt.Sprintf("%s=%v", *param, v))
 		cfg := core.Config{
 			Nodes: *n, GroupSize: *g, Relays: *k, Copies: *l, Spray: *spray,
 			MinICT: 1, MaxICT: 360, Seed: *seed, ContactFailure: *faults,
@@ -98,6 +113,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown parameter %q (want g, K, L, c, T, or f)", *param)
 		}
 		p, err := evaluate(cfg, dl, frac, *runs, *workers, v)
+		endPhase()
 		if err != nil {
 			return fmt.Errorf("%s=%v: %w", *param, v, err)
 		}
@@ -111,7 +127,44 @@ func run(args []string, out io.Writer) error {
 			p.value, p.simDelivery, p.modDelivery, p.simTx,
 			p.simTrace, p.modTrace, p.simAnon, p.modAnon)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	type manifestConfig struct {
+		Param       string    `json:"param"`
+		Values      []float64 `json:"values"`
+		Nodes       int       `json:"nodes"`
+		GroupSize   int       `json:"groupSize"`
+		Relays      int       `json:"relays"`
+		Copies      int       `json:"copies"`
+		Spray       bool      `json:"spray"`
+		Deadline    float64   `json:"deadline"`
+		Compromised float64   `json:"compromised"`
+		Runs        int       `json:"runs"`
+	}
+	return obsRun.Finish(manifestConfig{
+		Param: *param, Values: values, Nodes: *n, GroupSize: *g, Relays: *k,
+		Copies: *l, Spray: *spray, Deadline: *deadline, Compromised: *compromised,
+		Runs: *runs,
+	}, *seed, *workers, *faults)
+}
+
+// validateParamValues rejects sweep values that the integer-valued
+// parameters (g, K, L) would otherwise silently truncate: before this
+// check, `-param g -values 2.5` ran g=2 without any diagnostic.
+func validateParamValues(param string, values []float64) error {
+	switch param {
+	case "g", "K", "L":
+		for _, v := range values {
+			if v != math.Trunc(v) {
+				return fmt.Errorf("parameter %q takes integer values, got %v", param, v)
+			}
+			if v < math.MinInt32 || v > math.MaxInt32 {
+				return fmt.Errorf("parameter %q value %v out of integer range", param, v)
+			}
+		}
+	}
+	return nil
 }
 
 func parseValues(raw string) ([]float64, error) {

@@ -38,6 +38,36 @@ func TestSweepEachParameter(t *testing.T) {
 	}
 }
 
+// TestSweepRejectsFractionalIntegerParams pins the fix for the silent
+// int(v) truncation: `-param g -values 2.5` used to run g=2 with no
+// diagnostic. Each integer-valued parameter must reject fractional
+// values; the float-valued parameters must keep accepting them.
+func TestSweepRejectsFractionalIntegerParams(t *testing.T) {
+	for _, p := range []string{"g", "K", "L"} {
+		var buf bytes.Buffer
+		err := run([]string{"-param", p, "-values", "2.5", "-n", "30", "-runs", "10"}, &buf)
+		if err == nil {
+			t.Errorf("%s: fractional sweep value accepted (would silently truncate)", p)
+			continue
+		}
+		if !strings.Contains(err.Error(), "integer") {
+			t.Errorf("%s: error %q does not mention the integer requirement", p, err)
+		}
+	}
+	// Huge values must not wrap when cast to int.
+	var buf bytes.Buffer
+	if err := run([]string{"-param", "g", "-values", "1e18", "-n", "30", "-runs", "10"}, &buf); err == nil {
+		t.Error("out-of-range integer sweep value accepted")
+	}
+	// Float-valued parameters still accept fractions.
+	for _, tc := range []struct{ p, v string }{{"c", "0.15"}, {"T", "250.5"}, {"f", "0.25"}} {
+		var buf bytes.Buffer
+		if err := run([]string{"-param", tc.p, "-values", tc.v, "-n", "30", "-runs", "10"}, &buf); err != nil {
+			t.Errorf("%s=%s rejected: %v", tc.p, tc.v, err)
+		}
+	}
+}
+
 func TestSweepRejectsBadInput(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-param", "q", "-values", "1"}, &buf); err == nil {

@@ -7,6 +7,8 @@ package des
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Scheduler orders and dispatches events. The zero value is ready to
@@ -17,6 +19,10 @@ type Scheduler struct {
 	queue   eventHeap
 	seq     uint64
 	stopped bool
+	// maxQueue tracks the deepest the pending queue has been — a plain
+	// int so the per-event cost is one compare; it is flushed to the
+	// observability layer when a Run/RunUntil drains.
+	maxQueue int
 }
 
 type event struct {
@@ -52,6 +58,9 @@ func (s *Scheduler) At(t float64, fn func()) {
 	}
 	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn})
 	s.seq++
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
 }
 
 // After schedules fn to run delay time units from now. Negative delays
@@ -92,6 +101,7 @@ func (s *Scheduler) RunUntil(horizon float64) int {
 	if s.now < horizon && !s.stopped {
 		s.now = horizon
 	}
+	s.flushObs(dispatched)
 	return dispatched
 }
 
@@ -105,7 +115,18 @@ func (s *Scheduler) Run() int {
 		s.Step()
 		dispatched++
 	}
+	s.flushObs(dispatched)
 	return dispatched
+}
+
+// flushObs reports a completed dispatch loop to the observability
+// layer: one atomic pointer load when disabled, no RNG, no effect on
+// event order.
+func (s *Scheduler) flushObs(dispatched int) {
+	if c := obs.Active(); c != nil {
+		c.Add(obs.DESEvents, int64(dispatched))
+		c.RecordMax(obs.DESQueueHighWater, int64(s.maxQueue))
+	}
 }
 
 // Stop makes the current RunUntil/Run return after the in-flight event
@@ -118,4 +139,5 @@ func (s *Scheduler) Reset() {
 	s.queue = s.queue[:0]
 	s.seq = 0
 	s.stopped = false
+	s.maxQueue = 0
 }

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObsByteIdentical enforces the observability layer's central
+// invariant: an instrumented run — collector installed, manifest
+// written — produces byte-identical figure JSON to an uninstrumented
+// run, across seeds {1, 42} x workers {1, 4}. Instrumentation draws
+// no RNG state and changes no control flow, so the only difference
+// between the two runs may be the manifest file on disk.
+func TestObsByteIdentical(t *testing.T) {
+	if obs.Active() != nil {
+		t.Fatal("a collector is already installed; test requires the disabled default state")
+	}
+	gen := func(t *testing.T, opt Options) []byte {
+		t.Helper()
+		fig, err := Fig04(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fig.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		js, err := fig.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	for _, seed := range []uint64{1, 42} {
+		for _, workers := range []int{1, 4} {
+			opt := Options{Seed: seed, Runs: 40, SecurityRuns: 100, TraceRuns: 5, Workers: workers}
+
+			plain := gen(t, opt)
+
+			// Instrumented run: the full command lifecycle, including
+			// the manifest write.
+			manifest := filepath.Join(t.TempDir(), "manifest.json")
+			rf := &obs.RunFlags{ManifestPath: manifest, Profiles: &obs.Profiles{}}
+			run, err := rf.Begin("experiment-test", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obs.Active() == nil {
+				t.Fatal("Begin with a manifest path did not install a collector")
+			}
+			instrumented := gen(t, opt)
+			if err := run.Finish(opt, seed, workers, 0); err != nil {
+				t.Fatal(err)
+			}
+			if obs.Active() != nil {
+				t.Fatal("Finish left a collector installed")
+			}
+
+			if !bytes.Equal(plain, instrumented) {
+				t.Errorf("seed %d workers %d: instrumented figure JSON differs from uninstrumented (%d vs %d bytes)",
+					seed, workers, len(plain), len(instrumented))
+			}
+
+			raw, err := os.ReadFile(manifest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := obs.ValidateManifestBytes(raw)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: manifest invalid: %v", seed, workers, err)
+			}
+			// The instrumented run must actually have observed the
+			// simulation: fig04 drives the abstract sampler.
+			for _, name := range []string{"routing.contacts", "routing.handoffs", "experiment.trials"} {
+				v, ok := m.Counter(name)
+				if !ok {
+					t.Fatalf("manifest missing counter %q", name)
+				}
+				if v == 0 {
+					t.Errorf("seed %d workers %d: counter %q is zero; instrumentation not reaching the hot path", seed, workers, name)
+				}
+			}
+		}
+	}
+}

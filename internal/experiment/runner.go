@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // MapTrials runs trial(i) for every index in [0, trials) on a bounded
@@ -29,10 +32,38 @@ func MapTrials[T any](workers, trials int, trial func(i int) (T, error)) ([]T, e
 		return nil, nil
 	}
 	workers = resolveWorkers(workers, trials)
+	// Per-batch instrumentation: wall-clock, offered worker capacity,
+	// and summed per-trial busy time (their ratio is worker
+	// utilization). Collection draws no RNG and does not touch the
+	// trial results, so figures are byte-identical either way; when no
+	// collector is installed the batch pays one atomic load and no
+	// clock reads.
+	c := obs.Active()
+	var batchStart time.Time
+	if c != nil {
+		batchStart = time.Now()
+		c.Add(obs.ExpTrialBatches, 1)
+		c.Add(obs.ExpTrials, int64(trials))
+		c.Observe(obs.HistTrialBatchTrials, int64(trials))
+		defer func() {
+			wall := time.Since(batchStart)
+			c.Add(obs.ExpBatchWallNanos, wall.Nanoseconds())
+			c.Add(obs.ExpBatchCapacityNanos, wall.Nanoseconds()*int64(workers))
+		}()
+	}
+	run := trial
+	if c != nil {
+		run = func(i int) (T, error) {
+			start := time.Now()
+			v, err := trial(i)
+			c.Add(obs.ExpTrialBusyNanos, time.Since(start).Nanoseconds())
+			return v, err
+		}
+	}
 	out := make([]T, trials)
 	if workers == 1 {
 		for i := 0; i < trials; i++ {
-			v, err := trial(i)
+			v, err := run(i)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
 			}
@@ -54,7 +85,7 @@ func MapTrials[T any](workers, trials int, trial func(i int) (T, error)) ([]T, e
 				if i >= trials || failed.Load() {
 					return
 				}
-				v, err := trial(i)
+				v, err := run(i)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

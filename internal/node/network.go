@@ -9,6 +9,7 @@ import (
 	"repro/internal/contact"
 	"repro/internal/fault"
 	"repro/internal/groups"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -158,8 +159,28 @@ func (nw *Network) Meet(x, y contact.NodeID, now float64) MeetReport {
 	}
 
 	var rep MeetReport
-	nw.exchangeLocked(a, b, &rep)
-	nw.exchangeLocked(b, a, &rep)
+	// One observability guard per contact; nil when disabled. The
+	// collector is threaded through the exchange so per-hand-off
+	// metrics avoid repeated atomic loads.
+	col := obs.Active()
+	nw.exchangeLocked(a, b, &rep, col)
+	nw.exchangeLocked(b, a, &rep, col)
+	if col != nil {
+		col.Add(obs.NodeContacts, 1)
+		col.Add(obs.NodeHandoffs, int64(rep.Transfers))
+		col.Add(obs.NodeDeliveries, int64(rep.Deliveries))
+		col.Add(obs.NodeRejected, int64(rep.Rejected))
+		col.Add(obs.NodeTruncated, int64(rep.Truncated))
+		col.Add(obs.NodeRetransmissions, int64(rep.Retried))
+		col.Add(obs.NodeTamperDrops, int64(rep.Corrupted))
+		col.Add(obs.NodeDedupHits, int64(rep.Duplicates))
+		col.Observe(obs.HistContactTransfers, int64(rep.Transfers))
+		occupancy := len(a.buffer)
+		if len(b.buffer) > occupancy {
+			occupancy = len(b.buffer)
+		}
+		col.RecordMax(obs.NodeCustodyHighWater, int64(occupancy))
+	}
 	return rep
 }
 
@@ -182,7 +203,7 @@ func exchangeAcksLocked(a, b *Node) {
 // limit the transfer order decides which custody offers are refused,
 // and both map iteration order and the crypto-random message IDs would
 // make delivery outcomes nondeterministic for a fixed seed.
-func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport) {
+func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport, col *obs.Collector) {
 	held := make([]*carried, 0, len(sender.buffer))
 	for _, c := range sender.buffer {
 		held = append(held, c)
@@ -211,7 +232,7 @@ func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport) {
 			// error; surface it loudly rather than silently dropping.
 			panic(fmt.Sprintf("node: marshal custody of %s: %v", id, err))
 		}
-		incoming, dup := nw.handoffLocked(sender, receiver, frame, rep)
+		incoming, dup := nw.handoffLocked(sender, receiver, frame, rep, col)
 		if incoming == nil {
 			// Transfer failed every attempt: the receiver never saw a
 			// valid bundle; the sender keeps custody and re-offers at a
@@ -249,7 +270,7 @@ func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport) {
 // retry budget. It returns the parsed custody record on success (nil
 // if every attempt failed) plus a second parsed record when the fault
 // plan schedules a duplicate redelivery. Both locks are held.
-func (nw *Network) handoffLocked(sender, receiver *Node, frame []byte, rep *MeetReport) (incoming, dup *carried) {
+func (nw *Network) handoffLocked(sender, receiver *Node, frame []byte, rep *MeetReport, col *obs.Collector) (incoming, dup *carried) {
 	retries := nw.plan.Config().Retries
 	for attempt := 0; ; attempt++ {
 		h := nw.plan.Handoff(len(frame))
@@ -259,6 +280,10 @@ func (nw *Network) handoffLocked(sender, receiver *Node, frame []byte, rep *Meet
 			wire = fault.Truncate(frame, h.Cut)
 		case h.Corrupt:
 			wire = fault.Flip(frame, h.Flip)
+		}
+		if col != nil {
+			col.Add(obs.NodeWireBytes, int64(len(wire)))
+			col.Observe(obs.HistHandoffFrameBytes, int64(len(frame)))
 		}
 		incoming, err := receiveFrame(wire)
 		if err == nil {

@@ -1,0 +1,198 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// closedForm evaluates Eq. 6 through the product-form coefficients
+// without the stability guards, so the tests can compare the two
+// HypoexpCDF evaluation paths directly. The second return reports the
+// largest coefficient magnitude — the quantity the switchover guards
+// on.
+func closedForm(t *testing.T, rates []float64, x float64) (float64, float64) {
+	t.Helper()
+	coef, err := HypoexpCoefficients(rates)
+	if err != nil {
+		t.Fatalf("coefficients for %v: %v", rates, err)
+	}
+	f, maxAbs := 0.0, 0.0
+	for k, a := range coef {
+		f += a * (1 - math.Exp(-rates[k]*x))
+		maxAbs = math.Max(maxAbs, math.Abs(a))
+	}
+	return Clamp01(f), maxAbs
+}
+
+// switchoverTimes spans the interesting part of the CDF for a rate
+// vector: around the mean sum(1/rate) plus deep tail points.
+func switchoverTimes(rates []float64) []float64 {
+	mean := 0.0
+	for _, r := range rates {
+		mean += 1 / r
+	}
+	return []float64{mean / 10, mean / 2, mean, 2 * mean, 5 * mean, 20 * mean}
+}
+
+// TestHypoexpSwitchoverAgreement is the audit the switchover was
+// missing: whenever HypoexpCDF admits the product form (rates well
+// separated AND coefficients under coefMagLimit), the closed form must
+// agree with the uniformization fallback to 1e-9. Rate vectors whose
+// tightest relative gap sits just above relGapThreshold pass the
+// separation check but produce ~1/gap coefficients, so they must be
+// caught by the magnitude guard instead — the test asserts that too.
+func TestHypoexpSwitchoverAgreement(t *testing.T) {
+	gaps := []float64{1.05e-6, 2e-6, 5e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	admitted, rejected := 0, 0
+	for _, g := range gaps {
+		// ratesWellSeparated compares gap <= threshold*larger, so scale
+		// the perturbation to clear the check for the larger rate of
+		// each adjacent pair.
+		d := g * (1 + g) * 1.0000001
+		for _, rates := range [][]float64{
+			{1, 1 + d},
+			{1, 1 + d, 2},
+			{1, 1 + d, 2, 2 * (1 + d)},
+			{0.2, 0.2 * (1 + d), 3, 7},
+		} {
+			if !ratesWellSeparated(rates) {
+				t.Fatalf("gap %v: %v unexpectedly rejected by the separation guard", g, rates)
+			}
+			for _, x := range switchoverTimes(rates) {
+				cf, maxAbs := closedForm(t, rates, x)
+				if maxAbs >= coefMagLimit {
+					rejected++
+					continue // HypoexpCDF takes uniformization here
+				}
+				admitted++
+				uni := hypoexpUniformization(rates, x)
+				if diff := math.Abs(cf - uni); diff > 1e-9 {
+					t.Errorf("gap %v rates %v t=%v: closed form %v vs uniformization %v (diff %.3g)",
+						g, rates, x, cf, uni, diff)
+				}
+			}
+		}
+	}
+	// The sweep must exercise both sides of the magnitude guard, or it
+	// is not testing the switchover at all.
+	if admitted == 0 || rejected == 0 {
+		t.Fatalf("sweep did not straddle the switchover: %d admitted, %d rejected", admitted, rejected)
+	}
+}
+
+// TestHypoexpGuardRejectsNearThresholdVectors pins the tightening of
+// the coefficient-magnitude guard: a vector that passes the pairwise
+// separation check with a gap just above relGapThreshold produces
+// ~1/gap coefficients, so HypoexpCDF must route it through
+// uniformization. Cross-checking against 50-digit arithmetic showed
+// the closed form losing up to ~3e-9 at coefficient magnitudes of a
+// few 1e5 (several moderately close pairs multiplying up) while
+// uniformization stayed exact to ~1e-14; with the old 1e12 limit this
+// test fails.
+func TestHypoexpGuardRejectsNearThresholdVectors(t *testing.T) {
+	rates := []float64{1, 1 + 2.2e-6, 2}
+	if !ratesWellSeparated(rates) {
+		t.Fatal("test vector rejected by the separation guard; expected the magnitude guard to do the work")
+	}
+	_, maxAbs := closedForm(t, rates, 1)
+	if maxAbs < coefMagLimit {
+		t.Fatalf("maxAbs = %v admits the closed form; the guard no longer covers near-threshold vectors", maxAbs)
+	}
+	// And the value HypoexpCDF returns must match uniformization
+	// exactly, proving the fallback is the path actually taken.
+	for _, x := range switchoverTimes(rates) {
+		got, err := HypoexpCDF(rates, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := hypoexpUniformization(rates, x); got != want {
+			t.Errorf("t=%v: HypoexpCDF = %v, uniformization = %v; closed form leaked through the guard", x, got, want)
+		}
+	}
+}
+
+// TestHypoexpSwitchoverContinuity checks that crossing the switchover
+// adds no artificial jump: sweeping the gap g of {1, 1+g, 2} through
+// the region where the coefficient magnitude 2/g crosses coefMagLimit,
+// adjacent evaluations of HypoexpCDF may differ by no more than the
+// genuine CDF change (measured through uniformization on both sides)
+// plus the 1e-9 agreement bound.
+func TestHypoexpSwitchoverContinuity(t *testing.T) {
+	// Geometric sweep of the pair gap across the magnitude boundary at
+	// g = 2/coefMagLimit = 2e-5.
+	var gs []float64
+	for g := 5e-6; g <= 1e-4; g *= 1.15 {
+		gs = append(gs, g)
+	}
+	ratesFor := func(g float64) []float64 { return []float64{1, 1 + g, 2} }
+	sawBothPaths := false
+	for i := 1; i < len(gs); i++ {
+		ra, rb := ratesFor(gs[i-1]), ratesFor(gs[i])
+		_, ma := closedForm(t, ra, 1)
+		_, mb := closedForm(t, rb, 1)
+		if (ma >= coefMagLimit) != (mb >= coefMagLimit) {
+			sawBothPaths = true // this pair straddles the switchover
+		}
+		for _, x := range switchoverTimes(ra) {
+			fa, err := HypoexpCDF(ra, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := HypoexpCDF(rb, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genuine := math.Abs(hypoexpUniformization(ra, x) - hypoexpUniformization(rb, x))
+			if diff := math.Abs(fa - fb); diff > genuine+1e-9 {
+				t.Errorf("g %v->%v t=%v: CDF jumps by %.3g across the switchover (genuine change %.3g)",
+					gs[i-1], gs[i], x, diff, genuine)
+			}
+		}
+	}
+	if !sawBothPaths {
+		t.Fatal("gap sweep never crossed the coefficient-magnitude boundary")
+	}
+}
+
+// TestHypoexpSwitchoverRandomized is the property-test sweep: random
+// rate vectors, half of them squeezed to a near-threshold pair gap,
+// must evaluate identically (1e-9) through both paths whenever
+// HypoexpCDF admits the closed form.
+func TestHypoexpSwitchoverRandomized(t *testing.T) {
+	s := rng.New(20260806).Split("hypoexp-switchover")
+	admitted := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + s.IntN(4)
+		// Log-uniform base rates in [0.05, 20].
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.05 * math.Exp(s.Float64()*math.Log(400))
+		}
+		// Half the trials squeeze a pair to a near-threshold gap.
+		if s.Float64() < 0.5 {
+			i := s.IntN(n - 1)
+			g := relGapThreshold * (1.1 + 10*s.Float64())
+			rates[i+1] = rates[i] * (1 + g) * 1.000001
+		}
+		if !ratesWellSeparated(rates) {
+			continue // closed form not admitted; nothing to compare
+		}
+		for _, x := range switchoverTimes(rates) {
+			cf, maxAbs := closedForm(t, rates, x)
+			if maxAbs >= coefMagLimit {
+				continue // HypoexpCDF falls back here
+			}
+			admitted++
+			uni := hypoexpUniformization(rates, x)
+			if diff := math.Abs(cf - uni); diff > 1e-9 {
+				t.Errorf("trial %d rates %v t=%v: closed %v vs uniformization %v (diff %.3g)",
+					trial, rates, x, cf, uni, diff)
+			}
+		}
+	}
+	if admitted < 100 {
+		t.Fatalf("only %d admitted comparisons; the sweep is not exercising the closed form", admitted)
+	}
+}

@@ -21,6 +21,18 @@ var ErrNoRates = errors.New("numeric: at least one rate is required")
 // and the uniformization fallback is used instead.
 const relGapThreshold = 1e-6
 
+// coefMagLimit caps the product-form coefficient magnitude HypoexpCDF
+// will evaluate through Eq. 6. The closed form's absolute error is
+// roughly n * maxAbs(A_k) * machine epsilon (the sum cancels huge
+// alternating terms down to a value in [0,1]), so admitting
+// coefficients up to 1e5 keeps it under ~1e-10 — comfortably inside
+// the 1e-9 agreement bound the switchover property test enforces. The
+// previous limit of 1e12 let near-threshold vectors lose up to ~1e-4
+// of absolute accuracy. Pairwise separation alone cannot guarantee
+// this: several moderately close pairs multiply into one huge
+// coefficient, which is exactly what this magnitude check catches.
+const coefMagLimit = 1e5
+
 // HypoexpCoefficients returns the coefficients A_k of Eq. 5,
 //
 //	A_k = prod_{j != k} lambda_j / (lambda_j - lambda_k),
@@ -93,12 +105,12 @@ func HypoexpCDF(rates []float64, t float64) (float64, error) {
 	if coef, err := HypoexpCoefficients(rates); err == nil {
 		// Guard: the product form can still lose precision when the
 		// coefficients are huge with alternating signs. Detect by
-		// magnitude and fall back.
+		// magnitude and fall back (see coefMagLimit).
 		var maxAbs float64
 		for _, a := range coef {
 			maxAbs = math.Max(maxAbs, math.Abs(a))
 		}
-		if maxAbs < 1e12 {
+		if maxAbs < coefMagLimit {
 			f := 0.0
 			for k, a := range coef {
 				f += a * (1 - math.Exp(-rates[k]*t))

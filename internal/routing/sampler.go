@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/contact"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -62,6 +63,9 @@ func SampleOnionLossy(g *contact.Graph, p Params, deadline, failure float64, s *
 
 	t := p.StartTime
 	horizon := p.StartTime + deadline
+	// Sampled contacts are tallied locally and flushed once per call so
+	// the hop loop pays nothing for observability.
+	contacts := int64(0)
 	for !o.Done() {
 		// Enumerate the relevant pairs, deterministically ordered so a
 		// fixed seed yields a fixed outcome.
@@ -133,9 +137,18 @@ func SampleOnionLossy(g *contact.Graph, p Params, deadline, failure float64, s *
 				if !o.tryForward(t, cands[i].h, cands[i].peer) {
 					return Result{}, fmt.Errorf("routing: internal error: sampled candidate (%d -> %d) rejected by protocol", cands[i].h, cands[i].peer)
 				}
+				contacts++
 				break
 			}
 		}
 	}
-	return o.Result(), nil
+	res := o.Result()
+	if c := obs.Active(); c != nil {
+		c.Add(obs.RoutingContacts, contacts)
+		c.Add(obs.RoutingHandoffs, int64(res.Transmissions))
+		if res.Delivered {
+			c.Add(obs.RoutingDeliveries, 1)
+		}
+	}
+	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/contact"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -73,6 +74,9 @@ func RunSynthetic(g *contact.Graph, horizon float64, s *rng.Stream, p Protocol) 
 			heap.Pop(&h)
 		}
 	}
+	if c := obs.Active(); c != nil {
+		c.Add(obs.SimSyntheticContacts, int64(events))
+	}
 	return events
 }
 
@@ -100,6 +104,9 @@ func Replay(tr *trace.Trace, from, horizon float64, p Protocol) int {
 		}
 		p.OnContact(c.Start, c.A, c.B)
 		events++
+	}
+	if c := obs.Active(); c != nil {
+		c.Add(obs.SimReplayContacts, int64(events))
 	}
 	return events
 }
@@ -190,6 +197,9 @@ type lossy struct {
 // wrapper, regardless of outcome, so schedules reproduce.
 func (l *lossy) OnContact(t float64, a, b contact.NodeID) {
 	if l.s.Bernoulli(l.prob) {
+		if c := obs.Active(); c != nil {
+			c.Add(obs.SimContactsDropped, 1)
+		}
 		return
 	}
 	l.inner.OnContact(t, a, b)

@@ -48,8 +48,17 @@ func (a *Accumulator) AddBool(b bool) {
 // N returns the number of observations.
 func (a *Accumulator) N() int { return a.n }
 
-// Mean returns the sample mean, or 0 if empty.
-func (a *Accumulator) Mean() float64 { return a.mean }
+// Mean returns the sample mean, or NaN if empty. NaN — not a silent
+// zero — so an upstream empty-result bug cannot masquerade as a
+// legitimate zero data point; callers that can validly be empty must
+// guard with N() > 0 (Series.Validate rejects NaN points for the same
+// reason).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
 
 // Variance returns the unbiased sample variance, or 0 with fewer than
 // two observations.
@@ -91,9 +100,10 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize returns a snapshot of the accumulator.
+// Summarize returns a snapshot of the accumulator. An empty
+// accumulator summarizes with Mean = NaN (see Mean).
 func (a *Accumulator) Summarize() Summary {
-	return Summary{N: a.n, Mean: a.mean, StdDev: a.StdDev(), CI95: a.CI95(), Min: a.min, Max: a.max}
+	return Summary{N: a.n, Mean: a.Mean(), StdDev: a.StdDev(), CI95: a.CI95(), Min: a.min, Max: a.max}
 }
 
 // String renders the summary compactly.
@@ -102,10 +112,13 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.CI95, s.StdDev, s.Min, s.Max)
 }
 
-// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice —
+// never a silent 0, which would let an empty upstream result pass as a
+// legitimate zero data point. Callers that may legally see an empty
+// slice must check len(xs) first.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, v := range xs {
@@ -268,13 +281,21 @@ func (s *Series) Append(x, y, ci float64) {
 	s.CI = append(s.CI, ci)
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency. NaN points are rejected with
+// an explicit error: they are what an empty accumulator's Mean looks
+// like downstream (and JSON cannot encode them), so surfacing them at
+// validation names the bug instead of failing at marshal time.
 func (s *Series) Validate() error {
 	if len(s.X) != len(s.Y) {
 		return fmt.Errorf("stats: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
 	}
 	if s.CI != nil && len(s.CI) != len(s.Y) {
 		return fmt.Errorf("stats: series %q has %d CI values and %d y values", s.Name, len(s.CI), len(s.Y))
+	}
+	for i := range s.Y {
+		if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+			return fmt.Errorf("stats: series %q has NaN at point %d (empty accumulator upstream?)", s.Name, i)
+		}
 	}
 	return nil
 }

@@ -2,13 +2,14 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
 
 func TestAccumulatorBasics(t *testing.T) {
 	var a Accumulator
-	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+	if a.N() != 0 || !math.IsNaN(a.Mean()) || a.Variance() != 0 {
 		t.Fatal("zero-value accumulator not empty")
 	}
 	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
@@ -97,9 +98,40 @@ func TestSummaryString(t *testing.T) {
 	}
 }
 
+// TestMeanEmpty pins the empty-input contract: the mean of nothing is
+// NaN, never a silent 0 that an empty upstream result could hide
+// behind. Callers that may legally see empty input must guard first.
 func TestMeanEmpty(t *testing.T) {
-	if Mean(nil) != 0 {
-		t.Fatal("Mean(nil) != 0")
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatalf("Mean(nil) = %v, want NaN", Mean(nil))
+	}
+	if !math.IsNaN(Mean([]float64{})) {
+		t.Fatalf("Mean([]) = %v, want NaN", Mean([]float64{}))
+	}
+}
+
+// TestAccumulatorEmptyContract pins the full empty-accumulator
+// behavior: Mean (and Summarize().Mean) are NaN; the spread statistics
+// stay at their harmless zeros.
+func TestAccumulatorEmptyContract(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) {
+		t.Fatalf("empty Mean = %v, want NaN", a.Mean())
+	}
+	if a.Variance() != 0 || a.StdDev() != 0 || a.StdErr() != 0 || a.CI95() != 0 {
+		t.Fatal("empty spread statistics should be 0")
+	}
+	if a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("empty min/max should be 0")
+	}
+	s := a.Summarize()
+	if s.N != 0 || !math.IsNaN(s.Mean) {
+		t.Fatalf("empty summary = %+v, want N=0 Mean=NaN", s)
+	}
+	// One observation restores a well-defined mean.
+	a.Add(7)
+	if a.Mean() != 7 {
+		t.Fatalf("Mean after one Add = %v", a.Mean())
 	}
 }
 
@@ -304,6 +336,27 @@ func TestSeriesValidate(t *testing.T) {
 	badCI := &Series{Name: "c", X: []float64{1}, Y: []float64{1}, CI: []float64{1, 2}}
 	if err := badCI.Validate(); err == nil {
 		t.Fatal("mismatched CI validated")
+	}
+}
+
+// TestSeriesValidateRejectsNaN pins the guard that makes an empty
+// accumulator loud: appending its NaN mean to a series must fail
+// validation with a message naming the likely cause, instead of
+// surviving until JSON marshaling (which cannot encode NaN).
+func TestSeriesValidateRejectsNaN(t *testing.T) {
+	var empty Accumulator
+	s := &Series{Name: "nan"}
+	s.Append(1, empty.Mean(), empty.CI95())
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("series with NaN point validated")
+	}
+	if !strings.Contains(err.Error(), "NaN") {
+		t.Fatalf("error %q does not mention NaN", err)
+	}
+	badX := &Series{Name: "nanx", X: []float64{math.NaN()}, Y: []float64{1}}
+	if err := badX.Validate(); err == nil {
+		t.Fatal("series with NaN x validated")
 	}
 }
 
