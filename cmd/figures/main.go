@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run(args []string, out *os.File) error {
 		seed         = fs.Uint64("seed", 1, "root random seed")
 		workers      = fs.Int("workers", 0, "concurrent trial workers per figure (0 = GOMAXPROCS); output is identical for any value")
 		faults       = fs.Float64("faults", 0, "fault-injection rate in [0,1) applied to every figure (0 = pristine; ablation-faults sweeps internally)")
+		specPath     = fs.String("scenario", "", "JSON scenario spec file (one object or an array); overrides -fig")
 		noPlot       = fs.Bool("no-plot", false, "suppress ASCII plots")
 		jsonOut      = fs.Bool("json", false, "also write .json files when -out is set")
 		parallel     = fs.Int("parallel", 1, "figures generated concurrently")
@@ -81,33 +83,56 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("-faults must be in [0,1), got %v", *faults)
 	}
 	opt.FaultRate = *faults
-
-	reg, ids := experiment.Registry()
-	ablReg, ablIDs := experiment.AblationRegistry()
-	for id, gen := range ablReg {
-		reg[id] = gen
-	}
-	var selected []string
-	switch *figID {
-	case "all":
-		selected = ids
-	case "ablations":
-		selected = ablIDs
-	case "everything":
-		selected = append(append([]string(nil), ids...), ablIDs...)
-	default:
-		id := *figID
-		if len(id) <= 2 { // allow "-fig 4" and "-fig 11"
-			id = fmt.Sprintf("fig%02s", id)
-		}
-		if _, ok := reg[id]; !ok {
-			return fmt.Errorf("unknown figure %q (known: %v + %v)", *figID, ids, ablIDs)
-		}
-		selected = []string{id}
-	}
-
 	if *parallel < 1 {
-		*parallel = 1
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+
+	var reg map[string]experiment.Generator
+	var selected []string
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return fmt.Errorf("read scenario spec: %w", err)
+		}
+		specs, err := scenario.ParseSpecs(data)
+		if err != nil {
+			return err
+		}
+		// One engine shared across the file's specs so repeated
+		// analytical-model evaluations hit the memo cache.
+		eng := scenario.NewEngine(opt)
+		reg = make(map[string]experiment.Generator, len(specs))
+		for i := range specs {
+			spec := specs[i]
+			reg[spec.ID] = func(experiment.Options) (*experiment.Figure, error) {
+				return eng.Run(&spec)
+			}
+			selected = append(selected, spec.ID)
+		}
+	} else {
+		var ids []string
+		reg, ids = experiment.Registry()
+		ablReg, ablIDs := experiment.AblationRegistry()
+		for id, gen := range ablReg {
+			reg[id] = gen
+		}
+		switch *figID {
+		case "all":
+			selected = ids
+		case "ablations":
+			selected = ablIDs
+		case "everything":
+			selected = append(append([]string(nil), ids...), ablIDs...)
+		default:
+			id := *figID
+			if len(id) <= 2 { // allow "-fig 4" and "-fig 11"
+				id = fmt.Sprintf("fig%02s", id)
+			}
+			if _, ok := reg[id]; !ok {
+				return fmt.Errorf("unknown figure %q (known: %v + %v)", *figID, ids, ablIDs)
+			}
+			selected = []string{id}
+		}
 	}
 	figures := make([]*experiment.Figure, len(selected))
 	elapsed := make([]time.Duration, len(selected))

@@ -59,6 +59,65 @@ func TestBadFlag(t *testing.T) {
 	}
 }
 
+// TestParallelMustBePositive pins the fix for the silent clamp:
+// `-parallel 0` used to run serially with no diagnostic; it must now
+// be rejected like every other out-of-range flag.
+func TestParallelMustBePositive(t *testing.T) {
+	for _, p := range []string{"0", "-3"} {
+		err := run([]string{"-fig", "fig04", "-no-plot", "-parallel", p}, os.Stdout)
+		if err == nil {
+			t.Errorf("-parallel %s accepted (used to be silently clamped to 1)", p)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-parallel") {
+			t.Errorf("-parallel %s: error %q does not name the flag", p, err)
+		}
+	}
+}
+
+func TestScenarioSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"id": "from-file",
+		"title": "spec-file smoke",
+		"xLabel": "deadline", "yLabel": "delivery",
+		"series": {"param": "GroupSize", "values": [1, 5], "labelFormat": "g=%d"},
+		"x": {"param": "deadline", "values": [60, 600, 1800]},
+		"measure": {"kind": "delivery-curve"}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-scenario", spec, "-out", dir, "-no-plot",
+		"-runs", "20", "-security-runs", "50", "-trace-runs", "5",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "from-file.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Simulation: g=5") {
+		t.Fatalf("spec-file csv missing expected series:\n%s", data)
+	}
+}
+
+func TestScenarioSpecFileMalformed(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(spec, []byte(`{"id": "x", "measure": {"kind": "nope"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", spec, "-no-plot"}, os.Stdout); err == nil {
+		t.Fatal("malformed spec file accepted")
+	}
+	if err := run([]string{"-scenario", filepath.Join(dir, "missing.json"), "-no-plot"}, os.Stdout); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
 func TestParallelWithJSON(t *testing.T) {
 	dir := t.TempDir()
 	err := run([]string{

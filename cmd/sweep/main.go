@@ -24,9 +24,8 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
-	"repro/internal/experiment"
 	"repro/internal/obs"
-	"repro/internal/stats"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -36,15 +35,15 @@ func main() {
 	}
 }
 
-type point struct {
-	value       float64
-	simDelivery float64
-	modDelivery float64
-	simTx       float64
-	simTrace    float64
-	modTrace    float64
-	simAnon     float64
-	modAnon     float64
+// sweepParams maps each CLI parameter letter to the scenario axis
+// param it sweeps.
+var sweepParams = map[string]string{
+	"g": "GroupSize",
+	"K": "Relays",
+	"L": "Copies",
+	"c": scenario.ParamFrac,
+	"T": scenario.ParamDeadline,
+	"f": scenario.ParamFault,
 }
 
 func run(args []string, out io.Writer) error {
@@ -82,50 +81,44 @@ func run(args []string, out io.Writer) error {
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
 	}
+	axisParam, ok := sweepParams[*param]
+	if !ok {
+		return fmt.Errorf("unknown parameter %q (want g, K, L, c, T, or f)", *param)
+	}
 	obsRun, err := rf.Begin("sweep", args)
 	if err != nil {
 		return err
 	}
 	defer obsRun.Abort()
 
-	var points []point
-	for _, v := range values {
-		endPhase := obs.Current().StartPhase(fmt.Sprintf("%s=%v", *param, v))
-		cfg := core.Config{
+	spec := scenario.Scenario{
+		ID: "sweep-" + *param,
+		Base: core.Config{
 			Nodes: *n, GroupSize: *g, Relays: *k, Copies: *l, Spray: *spray,
 			MinICT: 1, MaxICT: 360, Seed: *seed, ContactFailure: *faults,
-		}
-		dl, frac := *deadline, *compromised
-		switch *param {
-		case "g":
-			cfg.GroupSize = int(v)
-		case "K":
-			cfg.Relays = int(v)
-		case "L":
-			cfg.Copies = int(v)
-		case "c":
-			frac = v
-		case "T":
-			dl = v
-		case "f":
-			cfg.ContactFailure = v
-		default:
-			return fmt.Errorf("unknown parameter %q (want g, K, L, c, T, or f)", *param)
-		}
-		p, err := evaluate(cfg, dl, frac, *runs, *workers, v)
-		endPhase()
-		if err != nil {
-			return fmt.Errorf("%s=%v: %w", *param, v, err)
-		}
-		points = append(points, p)
+		},
+		X: scenario.Axis{Name: *param, Param: axisParam, Values: values},
+		Measure: scenario.Measure{
+			Kind:     scenario.KindTable,
+			Deadline: *deadline,
+			Frac:     *compromised,
+		},
+	}
+	opt := scenario.Options{
+		Seed: *seed, Runs: *runs, SecurityRuns: 1, TraceRuns: 1,
+		Workers: *workers,
+	}
+	fig, err := scenario.NewEngine(opt).Run(&spec)
+	if err != nil {
+		return err
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "%s\tdelivery sim\tdelivery model\ttransmissions\ttraceable sim\ttraceable model\tanonymity sim\tanonymity model\n", *param)
-	for _, p := range points {
+	for i, v := range values {
 		fmt.Fprintf(tw, "%v\t%.3f\t%.3f\t%.2f\t%.3f\t%.3f\t%.3f\t%.3f\n",
-			p.value, p.simDelivery, p.modDelivery, p.simTx,
-			p.simTrace, p.modTrace, p.simAnon, p.modAnon)
+			v, fig.Series[0].Y[i], fig.Series[1].Y[i], fig.Series[2].Y[i],
+			fig.Series[3].Y[i], fig.Series[4].Y[i], fig.Series[5].Y[i], fig.Series[6].Y[i])
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -185,67 +178,4 @@ func parseValues(raw string) ([]float64, error) {
 		return nil, fmt.Errorf("no values to sweep")
 	}
 	return out, nil
-}
-
-func evaluate(cfg core.Config, deadline, frac float64, runs, workers int, v float64) (point, error) {
-	nw, err := core.NewNetwork(cfg)
-	if err != nil {
-		return point{}, err
-	}
-	p := point{
-		value:    v,
-		modTrace: nw.ModelTraceableRate(frac),
-		modAnon:  nw.ModelPathAnonymity(frac),
-	}
-	type trialOut struct {
-		delivered              bool
-		model, tx, trace, anon float64
-	}
-	trials, err := experiment.MapTrials(workers, runs, func(i int) (trialOut, error) {
-		trial, err := nw.NewTrial(i)
-		if err != nil {
-			return trialOut{}, err
-		}
-		res, err := nw.Route(trial, deadline, true, i)
-		if err != nil {
-			return trialOut{}, err
-		}
-		// Thinned model: identical to ModelDelivery when the
-		// contact-failure rate is zero.
-		m, err := nw.ModelDeliveryLossy(trial, deadline)
-		if err != nil {
-			return trialOut{}, err
-		}
-		sec, err := nw.FastSecurityTrial(frac, i)
-		if err != nil {
-			return trialOut{}, err
-		}
-		return trialOut{
-			delivered: res.Delivered,
-			model:     m,
-			tx:        float64(res.Transmissions),
-			trace:     sec.TraceableRate,
-			anon:      sec.PathAnonymity,
-		}, nil
-	})
-	if err != nil {
-		return point{}, err
-	}
-	var delivered int
-	var model, tx, tr, an stats.Accumulator
-	for _, to := range trials {
-		if to.delivered {
-			delivered++
-		}
-		model.Add(to.model)
-		tx.Add(to.tx)
-		tr.Add(to.trace)
-		an.Add(to.anon)
-	}
-	p.simDelivery = float64(delivered) / float64(runs)
-	p.modDelivery = model.Mean()
-	p.simTx = tx.Mean()
-	p.simTrace = tr.Mean()
-	p.simAnon = an.Mean()
-	return p, nil
 }

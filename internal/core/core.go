@@ -202,12 +202,24 @@ func (nw *Network) ModelDeliveryLossy(t *Trial, deadline float64) (float64, erro
 	if nw.cfg.ContactFailure == 0 {
 		return model.DeliveryRateMultiCopy(t.Rates, nw.cfg.Copies, deadline)
 	}
+	return model.DeliveryRateMultiCopy(nw.ThinnedRates(t), nw.cfg.Copies, deadline)
+}
+
+// ThinnedRates returns the trial's per-hop aggregate rates with the
+// configured contact-failure rate folded in (λ(1−p), the exact
+// thinning ModelDeliveryLossy evaluates). At ContactFailure = 0 it
+// returns the trial's rate slice itself; callers must treat the
+// result as read-only.
+func (nw *Network) ThinnedRates(t *Trial) []float64 {
+	if nw.cfg.ContactFailure == 0 {
+		return t.Rates
+	}
 	keep := 1 - nw.cfg.ContactFailure
 	thinned := make([]float64, len(t.Rates))
 	for i, r := range t.Rates {
 		thinned[i] = keep * r
 	}
-	return model.DeliveryRateMultiCopy(thinned, nw.cfg.Copies, deadline)
+	return thinned
 }
 
 // Rand derives a labeled deterministic random stream from the

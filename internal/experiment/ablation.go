@@ -2,122 +2,32 @@ package experiment
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/contact"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// AblationRegistry returns the ablation generators — experiments beyond
-// the paper's figures that probe the reproduction's own design
-// decisions (DESIGN.md Sec. 5) — keyed by ID, plus the ordered ID list.
-func AblationRegistry() (map[string]Generator, []string) {
-	reg := map[string]Generator{
-		"ablation-baselines":   AblationBaselines,
-		"ablation-buffers":     AblationBuffers,
-		"ablation-faults":      AblationFaults,
-		"ablation-predecessor": AblationPredecessor,
-		"ablation-spray":       AblationSpray,
-		"ablation-traceable":   AblationTraceableModel,
-		"ablation-tps":         AblationTPS,
-		"ablation-model-gap":   AblationModelGap,
-	}
-	ids := make([]string, 0, len(reg))
-	for id := range reg {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return reg, ids
+func init() {
+	scenario.RegisterCustom("ablation-traceable", ablationTraceable)
+	scenario.RegisterCustom("ablation-tps", ablationTPS)
+	scenario.RegisterCustom("ablation-model-gap", ablationModelGap)
 }
 
-// AblationSpray compares Algorithm 2 verbatim (strict: copies may only
-// enter the network through R_1 members) against the paper's simulated
-// variant (source spray-and-wait): delivery rate vs. deadline at
-// L = 3. The spray augmentation should dominate early deadlines — it
-// converts waiting-for-R_1 time into parallel carrying.
-func AblationSpray(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
-	deadlines := deliveryDeadlines()
-	fig := &Figure{
-		ID: "ablation-spray", Title: "Multi-copy variants: Algorithm 2 strict vs. source spray-and-wait (L=3)",
-		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
-	}
-	for _, spray := range []bool{false, true} {
-		name := "Strict (Alg. 2)"
-		if spray {
-			name = "Spray (Sec. V variant)"
-		}
-		cfg := core.DefaultConfig()
-		cfg.Copies = 3
-		cfg.Spray = spray
-		cfg.Seed = opt.Seed
-		cfg.ContactFailure = opt.FaultRate
-		nw, err := core.NewNetwork(cfg)
-		if err != nil {
-			return nil, err
-		}
-		type sprayTrial struct {
-			ok, delivered bool
-			time, tx      float64
-		}
-		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (sprayTrial, error) {
-			trial, err := nw.NewTrial(i)
-			if err != nil {
-				return sprayTrial{}, nil
-			}
-			res, err := nw.Route(trial, deadlines[len(deadlines)-1], true, i)
-			if err != nil {
-				return sprayTrial{}, err
-			}
-			return sprayTrial{ok: true, delivered: res.Delivered, time: res.Time, tx: float64(res.Transmissions)}, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		ecdf := stats.NewECDF()
-		var tx stats.Accumulator
-		for _, st := range trials {
-			if !st.ok {
-				continue
-			}
-			observe(ecdf, st.delivered, st.time)
-			tx.Add(st.tx)
-		}
-		s := stats.Series{Name: name}
-		n := float64(ecdf.N())
-		for _, t := range deadlines {
-			p := ecdf.At(t)
-			ci := 0.0
-			if n > 0 {
-				ci = 1.96 * math.Sqrt(p*(1-p)/n)
-			}
-			s.Append(t, p, ci)
-		}
-		fig.Series = append(fig.Series, s)
-		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %.1f mean transmissions", name, tx.Mean()))
-	}
-	return fig, nil
-}
-
-// AblationTraceableModel compares the two reconstructions of the
+// ablationTraceable compares the two reconstructions of the
 // traceable-rate analysis (DESIGN.md Sec. 5.4): the exact run-length
 // expectation used as the headline model versus the paper's literal
 // small-c geometric approximation (Eqs. 8-12), against a Monte-Carlo
 // reference.
-func AblationTraceableModel(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
+func ablationTraceable(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+	opt := e.Options()
 	const eta = 4 // K = 3
-	fracs := compromisedFractions()
+	fracs := scenario.CompromisedFractions()
 	exact := stats.Series{Name: "Exact expectation"}
 	approx := stats.Series{Name: "Paper approximation (Eqs. 8-12)"}
 	mc := stats.Series{Name: "Monte Carlo"}
@@ -137,7 +47,7 @@ func AblationTraceableModel(opt Options) (*Figure, error) {
 			return model.TraceableRateOfPath(bits), nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var acc stats.Accumulator
 		for _, v := range vals {
@@ -145,15 +55,10 @@ func AblationTraceableModel(opt Options) (*Figure, error) {
 		}
 		mc.Append(frac, acc.Mean(), acc.CI95())
 	}
-	return &Figure{
-		ID: "ablation-traceable", Title: "Traceable-rate model reconstructions (K=3)",
-		XLabel: "Compromised rate (c/n)", YLabel: "Traceable rate",
-		Series: []stats.Series{exact, approx, mc},
-		Notes:  []string{"the exact expectation is the headline model; the paper's truncation undershoots as c/n grows"},
-	}, nil
+	return []stats.Series{exact, approx, mc}, nil, nil
 }
 
-// AblationTPS compares onion routing (K = 3 and K = 10, L = 1)
+// ablationTPS compares onion routing (K = 3 and K = 10, L = 1)
 // against the Threshold Pivot Scheme (s = 3 share groups, tau = 2)
 // from Sec. VI-C on delivery rate vs. deadline. The related work
 // credits TPS with "alleviating the longer delay due to the use of
@@ -161,14 +66,12 @@ func AblationTraceableModel(opt Options) (*Figure, error) {
 // single node, so the relay-to-pivot and pivot-to-destination hops are
 // single-pair contact bottlenecks. TPS therefore only wins against
 // long onion paths — short group-aggregated onion paths beat it.
-func AblationTPS(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
+func ablationTPS(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+	opt := e.Options()
 	const n = 100
 	root := rng.New(opt.Seed)
 	g := contact.NewRandom(n, 1, 360, root.Split("graph"))
-	deadlines := deliveryDeadlines()
+	deadlines := scenario.DeliveryDeadlines()
 	maxT := deadlines[len(deadlines)-1]
 
 	type tpsTrial struct {
@@ -229,7 +132,7 @@ func AblationTPS(opt Options) (*Figure, error) {
 		return out, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	onion3ECDF, onion10ECDF, tpsECDF := stats.NewECDF(), stats.NewECDF(), stats.NewECDF()
@@ -250,16 +153,10 @@ func AblationTPS(opt Options) (*Figure, error) {
 		onion10.Append(t, onion10ECDF.At(t), 0)
 		tps.Append(t, tpsECDF.At(t), 0)
 	}
-	return &Figure{
-		ID: "ablation-tps", Title: "Onion groups vs. Threshold Pivot Scheme",
-		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
-		Series: []stats.Series{onion3, onion10, tps},
-		Notes: []string{
-			fmt.Sprintf("mean transmissions: onion K=3 %.1f, TPS %.1f (bound 2s+1 = 7)", onionTx.Mean(), tpsTx.Mean()),
-			"TPS's pivot is a single-pair contact bottleneck: it loses to short group-aggregated onion paths and lands in the league of long ones",
-			"TPS reveals the destination to the pivot (Sec. VI-C); onion groups never do",
-		},
-	}, nil
+	notes := []string{
+		fmt.Sprintf("mean transmissions: onion K=3 %.1f, TPS %.1f (bound 2s+1 = 7)", onionTx.Mean(), tpsTx.Mean()),
+	}
+	return []stats.Series{onion3, onion10, tps}, notes, nil
 }
 
 // obsPoint is one simulated delivery observation awaiting in-order
@@ -277,7 +174,7 @@ func observe(e *stats.ECDF, delivered bool, t float64) {
 	}
 }
 
-// AblationModelGap decomposes the analysis-vs-simulation delivery gap
+// ablationModelGap decomposes the analysis-vs-simulation delivery gap
 // the paper observes in Figs. 5 and 10. Eq. 4's optimism has two
 // sources: (a) the LAST hop sums contact rates over all g members of
 // R_K although only one member holds the message — present even with
@@ -285,10 +182,8 @@ func observe(e *stats.ECDF, delivered bool, t float64) {
 // members, which under heavy-tailed rates confuses 1/E[rate] with
 // E[1/rate]. Sweeping the ICT spread while also plotting a corrected
 // model (last hop averaged instead of summed) separates the two.
-func AblationModelGap(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
+func ablationModelGap(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+	opt := e.Options()
 	spreads := []float64{2, 30, 90, 180, 360, 720}
 	paperS := stats.Series{Name: "Analysis (Eq. 4 as printed)"}
 	corrS := stats.Series{Name: "Analysis (last hop averaged)"}
@@ -300,7 +195,7 @@ func AblationModelGap(opt Options) (*Figure, error) {
 		cfg.ContactFailure = opt.FaultRate
 		nw, err := core.NewNetwork(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Deadline scaled to twice the corrected model's mean traversal
 		// so every spread is compared at the same relative operating
@@ -338,7 +233,7 @@ func AblationModelGap(opt Options) (*Figure, error) {
 			return gapTrial{ok: true, delivered: res.Delivered, paper: m, corr: mc}, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var paperAcc, corrAcc stats.Accumulator
 		delivered, total := 0, 0
@@ -357,13 +252,5 @@ func AblationModelGap(opt Options) (*Figure, error) {
 		corrS.Append(maxICT, corrAcc.Mean(), corrAcc.CI95())
 		simS.Append(maxICT, float64(delivered)/float64(total), 0)
 	}
-	return &Figure{
-		ID: "ablation-model-gap", Title: "Decomposing the opportunistic onion path model's optimism",
-		XLabel: "Max mean ICT (minutes; min fixed at 1)", YLabel: "Delivery rate at T = 2 x mean traversal",
-		Series: []stats.Series{paperS, corrS, simS},
-		Notes: []string{
-			"Eq. 4 as printed sums last-hop rates over all g members of R_K; only one member holds the message",
-			"averaging the last hop closes most of the gap at homogeneous rates; the residual right-side gap is rate heterogeneity (E[1/rate] > 1/E[rate])",
-		},
-	}, nil
+	return []stats.Series{paperS, corrS, simS}, nil, nil
 }

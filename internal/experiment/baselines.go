@@ -7,11 +7,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// AblationBaselines quantifies the price of anonymity: onion routing
+func init() {
+	scenario.RegisterCustom("ablation-baselines", ablationBaselines)
+}
+
+// ablationBaselines quantifies the price of anonymity: onion routing
 // (K=3, L=1 and L=3 spray) against the non-anonymous DTN protocols the
 // paper reviews in Sec. VI-A — epidemic flooding, binary
 // spray-and-wait, PRoPHET, and direct delivery — on one random contact
@@ -21,15 +26,13 @@ import (
 // transmission; on a complete contact graph even direct delivery beats
 // the onion's K+1 serial hops, the starkest view of what the anonymity
 // constraint costs in delay.
-func AblationBaselines(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
+func ablationBaselines(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+	opt := e.Options()
 	const n = 100
 	const copies = 3
 	root := rng.New(opt.Seed)
 	g := contact.NewRandom(n, 1, 360, root.Split("graph"))
-	deadlines := deliveryDeadlines()
+	deadlines := scenario.DeliveryDeadlines()
 	maxT := deadlines[len(deadlines)-1]
 
 	onionCfg := core.DefaultConfig()
@@ -37,13 +40,13 @@ func AblationBaselines(opt Options) (*Figure, error) {
 	onionCfg.ContactFailure = opt.FaultRate
 	onionNet, err := core.NewNetwork(onionCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	onionCfg3 := onionCfg
 	onionCfg3.Copies = copies
 	onionNet3, err := core.NewNetwork(onionCfg3)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	names := []string{
@@ -109,7 +112,7 @@ func AblationBaselines(opt Options) (*Figure, error) {
 		return bt, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	ecdfs := make([]*stats.ECDF, len(names))
@@ -124,18 +127,15 @@ func AblationBaselines(opt Options) (*Figure, error) {
 		}
 	}
 
-	fig := &Figure{
-		ID: "ablation-baselines", Title: "The price of anonymity: onion routing vs. non-anonymous DTN protocols",
-		XLabel: "Deadline (minutes)", YLabel: "Delivery rate",
-	}
+	var series []stats.Series
+	var notes []string
 	for i, name := range names {
-		series := stats.Series{Name: name}
+		s := stats.Series{Name: name}
 		for _, t := range deadlines {
-			series.Append(t, ecdfs[i].At(t), 0)
+			s.Append(t, ecdfs[i].At(t), 0)
 		}
-		fig.Series = append(fig.Series, series)
-		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %.1f mean transmissions", name, txs[i].Mean()))
+		series = append(series, s)
+		notes = append(notes, fmt.Sprintf("%s: %.1f mean transmissions", name, txs[i].Mean()))
 	}
-	fig.Notes = append(fig.Notes, "engine baselines compared on identical contact realizations (paired)")
-	return fig, nil
+	return series, notes, nil
 }

@@ -7,11 +7,16 @@ import (
 	"repro/internal/fault"
 	"repro/internal/node"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// AblationBuffers stresses the full-crypto runtime (internal/node)
+func init() {
+	scenario.RegisterCustom("ablation-buffers", ablationBuffers)
+}
+
+// ablationBuffers stresses the full-crypto runtime (internal/node)
 // under storage pressure — the resource the paper's infinite-buffer
 // model abstracts away. A fixed Poisson traffic load (L=3 spray) is
 // offered to 40 nodes whose custody buffers are capped at 1..8 onions
@@ -19,26 +24,21 @@ import (
 // buffers force custody refusals and depress delivery; anti-packets
 // reclaim buffer space from already-delivered messages and recover
 // most of the loss.
-func AblationBuffers(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
+func ablationBuffers(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+	opt := e.Options()
 	const nodes = 40
 	limits := []float64{1, 2, 4, 8, 0} // 0 = unlimited, plotted at x=16
 	messages := opt.Runs / 5
 	if messages < 30 {
 		messages = 30
 	}
-	fig := &Figure{
-		ID: "ablation-buffers", Title: "Delivery under buffer pressure (full-crypto runtime, L=3 spray)",
-		XLabel: "Per-node buffer limit (onions; 16 = unlimited)", YLabel: "Delivery rate",
-	}
+	var series []stats.Series
 	for _, anti := range []bool{false, true} {
 		name := "No acknowledgements"
 		if anti {
 			name = "Anti-packets"
 		}
-		series := stats.Series{Name: name}
+		s := stats.Series{Name: name}
 		for _, lim := range limits {
 			var acc stats.Accumulator
 			const reps = 3
@@ -53,7 +53,7 @@ func AblationBuffers(opt Options) (*Figure, error) {
 					Faults:      fault.Uniform(opt.FaultRate),
 				})
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				g := contact.NewRandom(nodes, 1, 30, rng.New(opt.Seed+rep+101))
 				res, err := workload.Run(nw, g, workload.Spec{
@@ -66,7 +66,7 @@ func AblationBuffers(opt Options) (*Figure, error) {
 					Seed:        opt.Seed + rep + 7,
 				}, float64(messages)+1200)
 				if err != nil {
-					return nil, fmt.Errorf("experiment: buffers (anti=%v lim=%v): %w", anti, lim, err)
+					return nil, nil, fmt.Errorf("experiment: buffers (anti=%v lim=%v): %w", anti, lim, err)
 				}
 				acc.Add(res.DeliveryRate)
 			}
@@ -74,12 +74,12 @@ func AblationBuffers(opt Options) (*Figure, error) {
 			if lim == 0 {
 				x = 16
 			}
-			series.Append(x, acc.Mean(), acc.CI95())
+			s.Append(x, acc.Mean(), acc.CI95())
 		}
-		fig.Series = append(fig.Series, series)
+		series = append(series, s)
 	}
-	fig.Notes = append(fig.Notes,
+	notes := []string{
 		fmt.Sprintf("%d messages at 1/min, 10h per-message deadline, every hand-off a real encrypted bundle", messages),
-		"the paper's models assume infinite buffers (Sec. III-A); this shows what that assumption hides")
-	return fig, nil
+	}
+	return series, notes, nil
 }

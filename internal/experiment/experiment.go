@@ -1,237 +1,80 @@
 // Package experiment reproduces every figure of the paper's evaluation
-// (Sec. V, Figs. 4-19). Each generator returns a Figure holding the
-// "Analysis" (model) and "Simulation" series with the same sweeps the
-// paper plots; cmd/figures renders them as CSV and ASCII plots, and
-// the repository root's bench_test.go exposes one benchmark per
-// figure.
+// (Sec. V, Figs. 4-19) plus the repository's own ablations. Each
+// artifact is one declarative scenario.Scenario spec — the tables in
+// specs.go — evaluated by the shared scenario.Engine; cmd/figures
+// renders the results as CSV and ASCII plots, and the repository
+// root's bench_test.go exposes one benchmark per figure.
 package experiment
 
 import (
-	"encoding/json"
 	"fmt"
-	"math"
 	"sort"
-	"strconv"
-	"strings"
 
-	"repro/internal/stats"
+	"repro/internal/scenario"
 )
 
-// Options tunes experiment effort. Defaults reproduce the paper's
-// shapes in seconds per figure; raise the run counts for smoother
-// curves.
-type Options struct {
-	Seed         uint64
-	Runs         int // routed messages per delivery/cost point
-	SecurityRuns int // sampled paths per security point
-	TraceRuns    int // routed messages per trace figure (paper: 50)
-	Workers      int // concurrent trial workers (0 = GOMAXPROCS); figures are byte-identical for any value
-	// FaultRate injects the deterministic fault layer into every
-	// generator that drives contacts: abstract simulations thin each
-	// pair process to λ(1−p) (core.Config.ContactFailure), trace
-	// replays drop each contact with probability p, and the runtime
-	// figures run under fault.Uniform(p). Analytical "model" series
-	// stay at the paper's ideal-contact curves. 0 (the default) is
-	// byte-identical to a build without the fault layer.
-	FaultRate float64
-}
+// Options tunes experiment effort (alias of scenario.Options).
+// Defaults reproduce the paper's shapes in seconds per figure; raise
+// the run counts for smoother curves.
+type Options = scenario.Options
+
+// Figure is one reproduced evaluation artifact (alias of
+// scenario.Figure).
+type Figure = scenario.Figure
 
 // DefaultOptions returns a balanced effort level.
 func DefaultOptions() Options {
 	return Options{Seed: 1, Runs: 400, SecurityRuns: 4000, TraceRuns: 60}
 }
 
-func (o Options) validate() error {
-	if o.Runs < 1 || o.SecurityRuns < 1 || o.TraceRuns < 1 {
-		return fmt.Errorf("experiment: run counts must be positive: %+v", o)
-	}
-	if o.Workers < 0 {
-		return fmt.Errorf("experiment: workers must be non-negative (0 = GOMAXPROCS): %+v", o)
-	}
-	if o.FaultRate < 0 || o.FaultRate >= 1 {
-		return fmt.Errorf("experiment: fault rate %v out of [0,1)", o.FaultRate)
-	}
-	return nil
-}
-
-// Figure is one reproduced evaluation artifact.
-type Figure struct {
-	ID     string         `json:"id"` // e.g. "fig04"
-	Title  string         `json:"title"`
-	XLabel string         `json:"xLabel"`
-	YLabel string         `json:"yLabel"`
-	LogX   bool           `json:"logX,omitempty"`
-	Series []stats.Series `json:"series"`
-	Notes  []string       `json:"notes,omitempty"` // substitutions, skipped trials, caveats
-}
-
-// JSON renders the figure as indented JSON for machine consumption.
-func (f *Figure) JSON() ([]byte, error) {
-	out, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("experiment: marshal %s: %w", f.ID, err)
-	}
-	return append(out, '\n'), nil
-}
-
-// Validate checks the figure's series for consistency.
-func (f *Figure) Validate() error {
-	if len(f.Series) == 0 {
-		return fmt.Errorf("experiment: figure %s has no series", f.ID)
-	}
-	for i := range f.Series {
-		if err := f.Series[i].Validate(); err != nil {
-			return fmt.Errorf("experiment: figure %s: %w", f.ID, err)
-		}
-		if len(f.Series[i].X) == 0 {
-			return fmt.Errorf("experiment: figure %s series %q is empty", f.ID, f.Series[i].Name)
-		}
-	}
-	return nil
-}
-
 // Generator builds one figure.
 type Generator func(Options) (*Figure, error)
 
-// Registry returns the figure generators keyed by ID, plus the ordered
-// ID list.
-func Registry() (map[string]Generator, []string) {
-	reg := map[string]Generator{
-		"fig04": Fig04, "fig05": Fig05, "fig06": Fig06, "fig07": Fig07,
-		"fig08": Fig08, "fig09": Fig09, "fig10": Fig10, "fig11": Fig11,
-		"fig12": Fig12, "fig13": Fig13, "fig14": Fig14, "fig15": Fig15,
-		"fig16": Fig16, "fig17": Fig17, "fig18": Fig18, "fig19": Fig19,
-	}
-	ids := make([]string, 0, len(reg))
-	for id := range reg {
-		ids = append(ids, id)
+// FigureSpecs returns the declarative specs behind Figs. 4-19, in ID
+// order. Callers get fresh copies and may mutate them freely.
+func FigureSpecs() []scenario.Scenario { return figureSpecs() }
+
+// AblationSpecs returns the declarative specs behind the ablations, in
+// ID order. Callers get fresh copies and may mutate them freely.
+func AblationSpecs() []scenario.Scenario { return ablationSpecs() }
+
+// registryFrom wraps each spec in a Generator that evaluates it on a
+// fresh engine.
+func registryFrom(specs []scenario.Scenario) (map[string]Generator, []string) {
+	reg := make(map[string]Generator, len(specs))
+	ids := make([]string, 0, len(specs))
+	for i := range specs {
+		spec := specs[i]
+		reg[spec.ID] = func(opt Options) (*Figure, error) {
+			return scenario.NewEngine(opt).Run(&spec)
+		}
+		ids = append(ids, spec.ID)
 	}
 	sort.Strings(ids)
 	return reg, ids
 }
 
-// CSV renders the figure in tidy format: series,x,y,ci.
-func (f *Figure) CSV() string {
-	var b strings.Builder
-	b.WriteString("series,x,y,ci\n")
-	for _, s := range f.Series {
-		for i := range s.X {
-			ci := 0.0
-			if s.CI != nil {
-				ci = s.CI[i]
-			}
-			fmt.Fprintf(&b, "%s,%s,%s,%s\n",
-				csvEscape(s.Name),
-				strconv.FormatFloat(s.X[i], 'g', -1, 64),
-				strconv.FormatFloat(s.Y[i], 'g', 6, 64),
-				strconv.FormatFloat(ci, 'g', 4, 64))
-		}
-	}
-	return b.String()
+// Registry returns the figure generators keyed by ID, plus the ordered
+// ID list.
+func Registry() (map[string]Generator, []string) {
+	return registryFrom(figureSpecs())
 }
 
-func csvEscape(s string) string {
-	if strings.ContainsAny(s, ",\"\n") {
-		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-	}
-	return s
+// AblationRegistry returns the ablation generators — experiments beyond
+// the paper's figures that probe the reproduction's own design
+// decisions (DESIGN.md Sec. 5) — keyed by ID, plus the ordered ID list.
+func AblationRegistry() (map[string]Generator, []string) {
+	return registryFrom(ablationSpecs())
 }
 
-// Render draws an ASCII plot of the figure, suitable for terminals and
-// EXPERIMENTS.md. Markers a, b, c, ... identify series in the legend.
-func (f *Figure) Render(width, height int) string {
-	if width < 30 {
-		width = 30
-	}
-	if height < 8 {
-		height = 8
-	}
-	var xmin, xmax, ymin, ymax float64
-	first := true
-	for _, s := range f.Series {
-		for i := range s.X {
-			x, y := f.xCoord(s.X[i]), s.Y[i]
-			if first {
-				xmin, xmax, ymin, ymax = x, x, y, y
-				first = false
-				continue
-			}
-			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
-			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
-		}
-	}
-	if first {
-		return "(empty figure)\n"
-	}
-	if xmax == xmin {
-		xmax = xmin + 1
-	}
-	if ymax == ymin {
-		ymax = ymin + 1
-	}
-	// Pad the y range slightly so extremes stay visible.
-	pad := (ymax - ymin) * 0.05
-	ymin -= pad
-	ymax += pad
-
-	grid := make([][]byte, height)
-	for r := range grid {
-		grid[r] = []byte(strings.Repeat(" ", width))
-	}
-	for si, s := range f.Series {
-		marker := byte('a' + si%26)
-		for i := range s.X {
-			col := int((f.xCoord(s.X[i]) - xmin) / (xmax - xmin) * float64(width-1))
-			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
-			if row >= 0 && row < height && col >= 0 && col < width {
-				grid[row][col] = marker
+// Generate evaluates the identified figure or ablation spec.
+func Generate(id string, opt Options) (*Figure, error) {
+	for _, specs := range [][]scenario.Scenario{figureSpecs(), ablationSpecs()} {
+		for i := range specs {
+			if specs[i].ID == id {
+				return scenario.NewEngine(opt).Run(&specs[i])
 			}
 		}
 	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
-	fmt.Fprintf(&b, "%9.3g +%s+\n", ymax, strings.Repeat("-", width))
-	for r := 0; r < height; r++ {
-		fmt.Fprintf(&b, "%9s |%s|\n", "", string(grid[r]))
-	}
-	fmt.Fprintf(&b, "%9.3g +%s+\n", ymin, strings.Repeat("-", width))
-	xLeft := strconv.FormatFloat(f.xTick(xmin), 'g', 3, 64)
-	xRight := strconv.FormatFloat(f.xTick(xmax), 'g', 3, 64)
-	gapWidth := width - len(xLeft) - len(xRight)
-	if gapWidth < 1 {
-		gapWidth = 1
-	}
-	fmt.Fprintf(&b, "%9s  %s%s%s  (%s)\n", "", xLeft, strings.Repeat(" ", gapWidth), xRight, f.XLabel)
-	for si, s := range f.Series {
-		fmt.Fprintf(&b, "          %c = %s\n", 'a'+si%26, s.Name)
-	}
-	for _, n := range f.Notes {
-		fmt.Fprintf(&b, "          note: %s\n", n)
-	}
-	return b.String()
-}
-
-func (f *Figure) xCoord(x float64) float64 {
-	if f.LogX && x > 0 {
-		return math.Log2(x)
-	}
-	return x
-}
-
-func (f *Figure) xTick(coord float64) float64 {
-	if f.LogX {
-		return math.Exp2(coord)
-	}
-	return coord
-}
-
-// SeriesByName returns the named series, if present.
-func (f *Figure) SeriesByName(name string) (*stats.Series, bool) {
-	for i := range f.Series {
-		if f.Series[i].Name == name {
-			return &f.Series[i], true
-		}
-	}
-	return nil, false
+	return nil, fmt.Errorf("experiment: unknown figure %q", id)
 }

@@ -15,18 +15,18 @@ func fastOptions() Options {
 }
 
 func TestOptionsValidate(t *testing.T) {
-	if err := DefaultOptions().validate(); err != nil {
+	if err := DefaultOptions().Validate(); err != nil {
 		t.Fatal(err)
 	}
 	bad := Options{Seed: 1, Runs: 0, SecurityRuns: 1, TraceRuns: 1}
-	if err := bad.validate(); err == nil {
+	if err := bad.Validate(); err == nil {
 		t.Fatal("accepted zero runs")
 	}
 	if _, err := Fig04(bad); err == nil {
 		t.Fatal("generator accepted invalid options")
 	}
 	negWorkers := Options{Seed: 1, Runs: 1, SecurityRuns: 1, TraceRuns: 1, Workers: -1}
-	if err := negWorkers.validate(); err == nil {
+	if err := negWorkers.Validate(); err == nil {
 		t.Fatal("accepted negative workers")
 	}
 	if _, err := Fig04(negWorkers); err == nil {
@@ -34,7 +34,7 @@ func TestOptionsValidate(t *testing.T) {
 	}
 	for _, w := range []int{0, 1, 8} {
 		ok := Options{Seed: 1, Runs: 1, SecurityRuns: 1, TraceRuns: 1, Workers: w}
-		if err := ok.validate(); err != nil {
+		if err := ok.Validate(); err != nil {
 			t.Fatalf("rejected workers=%d: %v", w, err)
 		}
 	}

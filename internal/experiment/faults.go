@@ -8,11 +8,16 @@ import (
 	"repro/internal/fault"
 	"repro/internal/node"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// AblationFaults sweeps the fault-injection rate and plots what each
+func init() {
+	scenario.RegisterCustom("ablation-faults", ablationFaults)
+}
+
+// ablationFaults sweeps the fault-injection rate and plots what each
 // layer of the stack reports against the paper's unfaulted analysis
 // (Eqs. 4–7). Four delivery views share the x-axis:
 //
@@ -33,17 +38,10 @@ import (
 // The sweep is internal; opt.FaultRate (the knob that applies a single
 // rate to the standard figures) is deliberately ignored here. At rate 0
 // every series reproduces the unfaulted pipeline byte-for-byte.
-func AblationFaults(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
+func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+	opt := e.Options()
 	rates := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
 	const deadline = 600.0 // minutes
-
-	fig := &Figure{
-		ID: "ablation-faults", Title: "Delivery, cost and anonymity vs. injected fault rate",
-		XLabel: "Fault rate p (per contact / per hand-off)", YLabel: "Delivery rate (cost and anonymity noted)",
-	}
 
 	ideal := stats.Series{Name: "Analysis (Eq. 4-7, ideal contacts)"}
 	thinned := stats.Series{Name: "Analysis (thinned to λ(1-p))"}
@@ -67,7 +65,7 @@ func AblationFaults(opt Options) (*Figure, error) {
 		cfg.ContactFailure = rate
 		nw, err := core.NewNetwork(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (abstractTrial, error) {
 			trial, err := nw.NewTrial(i)
@@ -88,7 +86,7 @@ func AblationFaults(opt Options) (*Figure, error) {
 			return at, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var delAcc, txAcc, idealAcc, thinAcc stats.Accumulator
 		for _, at := range trials {
@@ -159,7 +157,7 @@ func AblationFaults(opt Options) (*Figure, error) {
 		return runtimeCell{rate: res.DeliveryRate, stats: res.Totals}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var injected node.Stats
 	for ri, rate := range rates {
@@ -177,14 +175,11 @@ func AblationFaults(opt Options) (*Figure, error) {
 		runtime.Append(rate, acc.Mean(), acc.CI95())
 	}
 
-	fig.Series = append(fig.Series, ideal, thinned, abstract, cost, runtime, anon)
-	fig.Notes = append(fig.Notes,
+	notes := []string{
 		fmt.Sprintf("%d abstract trials per rate, 10h deadline; runtime: %d messages x %d reps on %d nodes per rate",
 			opt.Runs, messages, rtReps, rtNodes),
 		fmt.Sprintf("runtime faults injected across the sweep: %d truncations (%d retransmits), %d corruptions, %d duplicates, %d crashes (%d custody onions dropped)",
 			injected.Truncated, injected.Retried, injected.Corrupted, injected.Duplicates, injected.Crashes, injected.CrashDropped),
-		"every corrupted frame was rejected at the CRC/AEAD layer: delivery counts contain authenticated bundles only",
-		"cost series is in transmissions (right-hand scale when plotted); anonymity is flat because faults do not change the anonymity set at fixed c/n",
-	)
-	return fig, nil
+	}
+	return []stats.Series{ideal, thinned, abstract, cost, runtime, anon}, notes, nil
 }

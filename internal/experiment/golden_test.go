@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenOptions is the effort level every committed golden CSV was
+// generated at (see testdata/goldens/). Regenerate with:
+//
+//	go run ./cmd/figures -fig <id> -out <dir> -no-plot \
+//	  -runs 60 -security-runs 300 -trace-runs 15 -seed <seed>
+func goldenOptions(seed uint64, workers int) Options {
+	return Options{
+		Seed: seed, Runs: 60, SecurityRuns: 300, TraceRuns: 15,
+		Workers: workers,
+	}
+}
+
+// TestGoldenFigures byte-compares representative figures — one per
+// measurement kind, plus the heaviest custom ablation — against CSVs
+// committed before the scenario-engine refactor. Any byte of drift at
+// any seed or worker count fails: the refactor's contract is exact
+// reproduction, not statistical agreement.
+func TestGoldenFigures(t *testing.T) {
+	ids := []string{"fig04", "fig06", "fig11", "fig14", "ablation-faults"}
+	seeds := []uint64{1, 42}
+	workerCounts := []int{1, 4}
+	if testing.Short() {
+		seeds = seeds[:1]
+		workerCounts = workerCounts[:1]
+	}
+	for _, id := range ids {
+		for _, seed := range seeds {
+			golden, err := os.ReadFile(filepath.Join(
+				"testdata", "goldens", fmt.Sprintf("%s-seed%d.csv", id, seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts {
+				id, seed, workers := id, seed, workers
+				t.Run(fmt.Sprintf("%s/seed%d/workers%d", id, seed, workers), func(t *testing.T) {
+					t.Parallel()
+					fig, err := Generate(id, goldenOptions(seed, workers))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := fig.CSV(); got != string(golden) {
+						t.Errorf("%s at seed %d, workers %d drifted from the committed golden", id, seed, workers)
+					}
+				})
+			}
+		}
+	}
+}

@@ -6,10 +6,15 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/contact"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
-// AblationPredecessor mounts a predecessor attack [Wright et al.] on
+func init() {
+	scenario.RegisterCustom("ablation-predecessor", ablationPredecessor)
+}
+
+// ablationPredecessor mounts a predecessor attack [Wright et al.] on
 // the abstract protocol: compromised R_1 members log who handed them
 // each fresh onion, and after observing a stream of messages from the
 // same (unknown) source the adversary guesses that the most frequent
@@ -18,16 +23,11 @@ import (
 // the spray augmentation (arbitrary relays injecting copies into R_1)
 // dilutes the attack, at the cost of the lower per-message anonymity
 // of Fig. 12.
-func AblationPredecessor(opt Options) (*Figure, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
+func ablationPredecessor(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+	opt := e.Options()
 	const frac = 0.2
 	messageCounts := []float64{1, 2, 5, 10, 20, 50, 100}
-	fig := &Figure{
-		ID: "ablation-predecessor", Title: "Predecessor attack: source identification vs. observed messages (c/n=20%)",
-		XLabel: "Messages observed from the same source", YLabel: "P[adversary identifies the source]",
-	}
+	var series []stats.Series
 	for _, tc := range []struct {
 		label  string
 		copies int
@@ -44,9 +44,9 @@ func AblationPredecessor(opt Options) (*Figure, error) {
 		cfg.ContactFailure = opt.FaultRate
 		nw, err := core.NewNetwork(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		series := stats.Series{Name: tc.label}
+		s := stats.Series{Name: tc.label}
 		// Trials: independent adversaries, each observing a stream of
 		// messages from a fixed source. Reuse one long routed stream
 		// per trial and evaluate all message-count prefixes.
@@ -95,7 +95,7 @@ func AblationPredecessor(opt Options) (*Figure, error) {
 			return correct, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		correctAt := make([]int, len(messageCounts))
 		for _, correct := range perTrial {
@@ -106,14 +106,14 @@ func AblationPredecessor(opt Options) (*Figure, error) {
 			}
 		}
 		for ci, mc := range messageCounts {
-			series.Append(mc, float64(correctAt[ci])/float64(trials), 0)
+			s.Append(mc, float64(correctAt[ci])/float64(trials), 0)
 		}
-		fig.Series = append(fig.Series, series)
+		series = append(series, s)
 	}
-	fig.Notes = append(fig.Notes,
+	notes := []string{
 		fmt.Sprintf("%d independent adversary trials per line; adversary guesses the most frequent first-hop predecessor", opt.Runs/4),
-		"spray mode dilutes the attack: sprayed carriers appear as predecessors alongside the source")
-	return fig, nil
+	}
+	return series, notes, nil
 }
 
 // guessSource returns the most frequently observed predecessor, with

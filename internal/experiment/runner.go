@@ -1,122 +1,13 @@
 package experiment
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"repro/internal/obs"
-)
+import "repro/internal/runner"
 
 // MapTrials runs trial(i) for every index in [0, trials) on a bounded
 // pool of worker goroutines and returns the per-trial results in trial
-// order. workers <= 0 means runtime.GOMAXPROCS(0).
-//
-// Determinism contract: trial must derive all of its randomness from
-// its index (e.g. via rng.Stream.SplitN with the index as the stream
-// label), never from shared mutable state, so that the result slice is
-// bit-identical for every worker count and every completion order.
-// Every Monte Carlo loop in this package runs on MapTrials, and the
-// equivalence tests assert the resulting figures are byte-identical
-// for workers in {1, 4, GOMAXPROCS}.
-//
-// Error contract: when one or more trials fail, the remaining workers
-// stop claiming new trials promptly and the recorded failure with the
-// lowest trial index is returned, wrapped with that index. Which
-// trials ran before cancellation is scheduling-dependent; the value
-// results are only meaningful when the returned error is nil.
+// order. It delegates to runner.MapTrials — see that package for the
+// determinism and error contracts. The alias is kept here because the
+// figure generators and external callers (cmd/sweep, node tests) have
+// always reached the pool through this package.
 func MapTrials[T any](workers, trials int, trial func(i int) (T, error)) ([]T, error) {
-	if trials <= 0 {
-		return nil, nil
-	}
-	workers = resolveWorkers(workers, trials)
-	// Per-batch instrumentation: wall-clock, offered worker capacity,
-	// and summed per-trial busy time (their ratio is worker
-	// utilization). Collection draws no RNG and does not touch the
-	// trial results, so figures are byte-identical either way; when no
-	// collector is installed the batch pays one atomic load and no
-	// clock reads.
-	c := obs.Active()
-	var batchStart time.Time
-	if c != nil {
-		batchStart = time.Now()
-		c.Add(obs.ExpTrialBatches, 1)
-		c.Add(obs.ExpTrials, int64(trials))
-		c.Observe(obs.HistTrialBatchTrials, int64(trials))
-		defer func() {
-			wall := time.Since(batchStart)
-			c.Add(obs.ExpBatchWallNanos, wall.Nanoseconds())
-			c.Add(obs.ExpBatchCapacityNanos, wall.Nanoseconds()*int64(workers))
-		}()
-	}
-	run := trial
-	if c != nil {
-		run = func(i int) (T, error) {
-			start := time.Now()
-			v, err := trial(i)
-			c.Add(obs.ExpTrialBusyNanos, time.Since(start).Nanoseconds())
-			return v, err
-		}
-	}
-	out := make([]T, trials)
-	if workers == 1 {
-		for i := 0; i < trials; i++ {
-			v, err := run(i)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-
-	errs := make([]error, trials)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= trials || failed.Load() {
-					return
-				}
-				v, err := run(i)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					return
-				}
-				out[i] = v
-			}
-		}()
-	}
-	wg.Wait()
-	if failed.Load() {
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
-			}
-		}
-	}
-	return out, nil
-}
-
-// resolveWorkers clamps a worker count to [1, trials], defaulting
-// non-positive values to GOMAXPROCS.
-func resolveWorkers(workers, trials int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
+	return runner.MapTrials(workers, trials, trial)
 }

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestEverySpecRoundTripsThroughJSON: each registry Scenario must
+// survive Marshal → ParseSpecs unchanged, so every built-in figure is
+// also expressible as an external -scenario spec file.
+func TestEverySpecRoundTripsThroughJSON(t *testing.T) {
+	specs := append(FigureSpecs(), AblationSpecs()...)
+	if len(specs) != 24 {
+		t.Fatalf("registry holds %d specs, want 24", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			data, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := scenario.ParseSpecs(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parsed) != 1 {
+				t.Fatalf("parsed %d specs", len(parsed))
+			}
+			if !reflect.DeepEqual(parsed[0], spec) {
+				t.Errorf("round trip drifted:\n got %+v\nwant %+v", parsed[0], spec)
+			}
+		})
+	}
+}
+
+// TestParsedSpecMatchesRegistry: a spec that went through JSON
+// produces byte-identical output to the registry generator — the
+// external spec path is not a near-copy of the internal one, it IS
+// the internal one.
+func TestParsedSpecMatchesRegistry(t *testing.T) {
+	opt := Options{Seed: 7, Runs: 25, SecurityRuns: 50, TraceRuns: 5, Workers: 2}
+	for _, id := range []string{"fig04", "fig08", "fig11"} {
+		var spec *scenario.Scenario
+		for _, s := range FigureSpecs() {
+			if s.ID == id {
+				s := s
+				spec = &s
+				break
+			}
+		}
+		if spec == nil {
+			t.Fatalf("spec %s missing", id)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := scenario.ParseSpecs(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := scenario.NewEngine(opt).Run(&parsed[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromRegistry, err := Generate(id, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := fromJSON.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fromRegistry.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: JSON-parsed spec output differs from registry output", id)
+		}
+	}
+}
+
+// TestSpecsAreCopies: mutating a returned spec must not poison the
+// registry.
+func TestSpecsAreCopies(t *testing.T) {
+	specs := FigureSpecs()
+	specs[0].ID = "mutated"
+	specs[0].Series.Values[0] = -99
+	again := FigureSpecs()
+	if again[0].ID == "mutated" || again[0].Series.Values[0] == -99 {
+		t.Fatal("FigureSpecs shares state across calls")
+	}
+	abl := AblationSpecs()
+	abl[0].ID = "mutated"
+	if AblationSpecs()[0].ID == "mutated" {
+		t.Fatal("AblationSpecs shares state across calls")
+	}
+}

@@ -37,22 +37,47 @@ func DeliveryRate(rates []float64, t float64) (float64, error) {
 	return v, nil
 }
 
-// DeliveryRateMultiCopy returns Eq. 7: with L copies in flight the
-// expected per-hop delay divides by L, so every hop rate is multiplied
-// by L.
-func DeliveryRateMultiCopy(rates []float64, copies int, t float64) (float64, error) {
+// DeliveryEvaluator is the reusable form of DeliveryRateMultiCopy:
+// it fixes one (rates, copies) pair up front so a deadline sweep can
+// evaluate Eq. 7 at many T values without re-deriving the
+// hypoexponential coefficients each time. At returns bit-identical
+// values to DeliveryRateMultiCopy with the same inputs because both
+// run the same numeric.HypoexpEval.
+type DeliveryEvaluator struct {
+	eval *numeric.HypoexpEval
+}
+
+// NewDeliveryEvaluator scales every hop rate by the copy count
+// (Eq. 7) and precomputes the CDF evaluation state.
+func NewDeliveryEvaluator(rates []float64, copies int) (*DeliveryEvaluator, error) {
 	if copies < 1 {
-		return 0, fmt.Errorf("model: copies must be >= 1, got %d", copies)
+		return nil, fmt.Errorf("model: copies must be >= 1, got %d", copies)
 	}
 	scaled := make([]float64, len(rates))
 	for i, r := range rates {
 		scaled[i] = r * float64(copies)
 	}
-	v, err := numeric.HypoexpCDF(scaled, t)
+	eval, err := numeric.NewHypoexpEval(scaled)
 	if err != nil {
-		return 0, fmt.Errorf("model: multi-copy delivery rate: %w", err)
+		return nil, fmt.Errorf("model: multi-copy delivery rate: %w", err)
 	}
-	return v, nil
+	return &DeliveryEvaluator{eval: eval}, nil
+}
+
+// At returns the delivery probability within deadline t.
+func (d *DeliveryEvaluator) At(t float64) float64 {
+	return d.eval.CDF(t)
+}
+
+// DeliveryRateMultiCopy returns Eq. 7: with L copies in flight the
+// expected per-hop delay divides by L, so every hop rate is multiplied
+// by L.
+func DeliveryRateMultiCopy(rates []float64, copies int, t float64) (float64, error) {
+	ev, err := NewDeliveryEvaluator(rates, copies)
+	if err != nil {
+		return 0, err
+	}
+	return ev.At(t), nil
 }
 
 // CostSingleCopy returns the transmission count of single-copy onion

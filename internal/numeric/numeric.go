@@ -80,6 +80,65 @@ func ratesWellSeparated(rates []float64) bool {
 	return true
 }
 
+// HypoexpEval is a reusable evaluator for the hypoexponential CDF at
+// one fixed rate vector. NewHypoexpEval performs the validation and
+// the product-form coefficient analysis (Eq. 5) once; CDF then
+// evaluates P[X <= t] for any number of deadlines without repeating
+// that work. HypoexpCDF is implemented on top of this type, so a
+// cached evaluator returns bit-identical values to the one-shot call
+// by construction.
+type HypoexpEval struct {
+	rates []float64
+	// coef holds the Eq. 5 coefficients when the closed form of Eq. 6
+	// is numerically safe (rates well separated, magnitudes below
+	// coefMagLimit); nil means CDF uses the uniformization fallback.
+	coef []float64
+}
+
+// NewHypoexpEval validates the rate vector and decides once between
+// the closed form and the uniformization fallback. The rates are
+// copied, so the caller may reuse its slice.
+func NewHypoexpEval(rates []float64) (*HypoexpEval, error) {
+	if len(rates) == 0 {
+		return nil, ErrNoRates
+	}
+	for _, r := range rates {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("numeric: invalid rate %v", r)
+		}
+	}
+	e := &HypoexpEval{rates: append([]float64(nil), rates...)}
+	if coef, err := HypoexpCoefficients(e.rates); err == nil {
+		// Guard: the product form can still lose precision when the
+		// coefficients are huge with alternating signs. Detect by
+		// magnitude and fall back (see coefMagLimit).
+		var maxAbs float64
+		for _, a := range coef {
+			maxAbs = math.Max(maxAbs, math.Abs(a))
+		}
+		if maxAbs < coefMagLimit {
+			e.coef = coef
+		}
+	}
+	return e, nil
+}
+
+// CDF returns P[X <= t] for the evaluator's rate vector; t <= 0
+// yields 0.
+func (e *HypoexpEval) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if e.coef != nil {
+		f := 0.0
+		for k, a := range e.coef {
+			f += a * (1 - math.Exp(-e.rates[k]*t))
+		}
+		return Clamp01(f)
+	}
+	return hypoexpUniformization(e.rates, t)
+}
+
 // HypoexpCDF returns P[X <= t] for X hypoexponential with the given
 // rates: the probability that a message traverses all hops within t
 // (Eq. 6 with the 1-sum identity). Rates must be positive; t < 0
@@ -91,34 +150,11 @@ func ratesWellSeparated(rates []float64) bool {
 // uniformization of the underlying absorbing Markov chain, which is
 // unconditionally stable.
 func HypoexpCDF(rates []float64, t float64) (float64, error) {
-	if len(rates) == 0 {
-		return 0, ErrNoRates
+	e, err := NewHypoexpEval(rates)
+	if err != nil {
+		return 0, err
 	}
-	for _, r := range rates {
-		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
-			return 0, fmt.Errorf("numeric: invalid rate %v", r)
-		}
-	}
-	if t <= 0 {
-		return 0, nil
-	}
-	if coef, err := HypoexpCoefficients(rates); err == nil {
-		// Guard: the product form can still lose precision when the
-		// coefficients are huge with alternating signs. Detect by
-		// magnitude and fall back (see coefMagLimit).
-		var maxAbs float64
-		for _, a := range coef {
-			maxAbs = math.Max(maxAbs, math.Abs(a))
-		}
-		if maxAbs < coefMagLimit {
-			f := 0.0
-			for k, a := range coef {
-				f += a * (1 - math.Exp(-rates[k]*t))
-			}
-			return Clamp01(f), nil
-		}
-	}
-	return hypoexpUniformization(rates, t), nil
+	return e.CDF(t), nil
 }
 
 // hypoexpUniformization evaluates the hypoexponential CDF via

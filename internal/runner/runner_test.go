@@ -1,4 +1,4 @@
-package experiment
+package runner
 
 import (
 	"errors"
@@ -129,16 +129,16 @@ func TestMapTrialsStress(t *testing.T) {
 }
 
 func TestResolveWorkers(t *testing.T) {
-	if got := resolveWorkers(0, 100); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("resolveWorkers(0, 100) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	if got := ResolveWorkers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(0, 100) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
 	}
-	if got := resolveWorkers(-3, 100); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("resolveWorkers(-3, 100) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	if got := ResolveWorkers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(-3, 100) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
 	}
-	if got := resolveWorkers(8, 3); got != 3 {
-		t.Fatalf("resolveWorkers(8, 3) = %d, want 3 (clamped to trials)", got)
+	if got := ResolveWorkers(8, 3); got != 3 {
+		t.Fatalf("ResolveWorkers(8, 3) = %d, want 3 (clamped to trials)", got)
 	}
-	if got := resolveWorkers(5, 100); got != 5 {
-		t.Fatalf("resolveWorkers(5, 100) = %d, want 5", got)
+	if got := ResolveWorkers(5, 100); got != 5 {
+		t.Fatalf("ResolveWorkers(5, 100) = %d, want 5", got)
 	}
 }

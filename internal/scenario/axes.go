@@ -1,0 +1,30 @@
+package scenario
+
+// DeliveryDeadlines is the paper's deadline sweep: 60 to 1800 minutes
+// (Table II). The historical generator accumulated `t += 174` in
+// floating point and then appended a final 1800, which (since
+// 60 + 10*174 == 1800 exactly) produced twelve values with a duplicate
+// trailing 1800. Indexes are now integral so no accumulation error can
+// creep in, and the duplicate endpoint is preserved deliberately: the
+// published CSVs carry it, and the delivery-curve ECDF is evaluated per
+// listed deadline, so dropping it would change every delivery figure.
+func DeliveryDeadlines() []float64 {
+	out := make([]float64, 0, 12)
+	for i := 0; i <= 10; i++ {
+		out = append(out, float64(60+174*i))
+	}
+	return append(out, 1800)
+}
+
+// CompromisedFractions is the paper's compromised-rate sweep: 1% to
+// 50% (Table II). Generated from integer percent counts (the
+// historical `f += 0.05` accumulator drifted and leaned on a
+// math.Round repair; float64(5*i)/100 produces the same eleven values
+// exactly).
+func CompromisedFractions() []float64 {
+	out := []float64{0.01}
+	for i := 1; i <= 10; i++ {
+		out = append(out, float64(5*i)/100)
+	}
+	return out
+}

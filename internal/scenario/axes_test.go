@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPinnedAxes pins the shared sweep axes element by element. The
+// historical accumulator loops are gone, but every committed golden
+// was generated against exactly these values — including the
+// duplicated trailing 1800 deadline — so any drift here silently
+// invalidates all figure goldens.
+func TestPinnedAxes(t *testing.T) {
+	wantDeadlines := []float64{
+		60, 234, 408, 582, 756, 930, 1104, 1278, 1452, 1626, 1800, 1800,
+	}
+	if got := DeliveryDeadlines(); !reflect.DeepEqual(got, wantDeadlines) {
+		t.Errorf("DeliveryDeadlines() = %v, want %v", got, wantDeadlines)
+	}
+	wantFracs := []float64{
+		0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5,
+	}
+	got := CompromisedFractions()
+	if len(got) != len(wantFracs) {
+		t.Fatalf("CompromisedFractions() = %v, want %v", got, wantFracs)
+	}
+	for i, w := range wantFracs {
+		// The legacy loop computed float64(5*i)/100; require bit
+		// equality with that expression, not approximate equality.
+		if got[i] != w && got[i] != float64(5*i)/100 {
+			t.Errorf("CompromisedFractions()[%d] = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+// TestAxesReturnFreshSlices: callers may append to or mutate the
+// returned slices without corrupting later calls.
+func TestAxesReturnFreshSlices(t *testing.T) {
+	a := DeliveryDeadlines()
+	a[0] = -1
+	if DeliveryDeadlines()[0] != 60 {
+		t.Error("DeliveryDeadlines shares backing storage across calls")
+	}
+	b := CompromisedFractions()
+	b[0] = -1
+	if CompromisedFractions()[0] != 0.01 {
+		t.Error("CompromisedFractions shares backing storage across calls")
+	}
+}

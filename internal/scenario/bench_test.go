@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// kSweepSpec is a 10-value relay-count sweep over the full deadline
+// axis — the shape where the delivery memo cache pays: every trial
+// evaluates the analytical curve at 12 deadlines, and each trial's
+// evaluator (coefficient precomputation) is shared across them.
+func kSweepSpec() Scenario {
+	return Scenario{
+		ID:     "bench-k-sweep",
+		Title:  "bench",
+		XLabel: "deadline",
+		YLabel: "delivery",
+		Base:   core.DefaultConfig(),
+		Series: Axis{
+			Param:       "Relays",
+			Values:      []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			LabelFormat: "K=%d",
+		},
+		X:       Axis{Param: ParamDeadline, Values: DeliveryDeadlines()},
+		Measure: Measure{Kind: KindDeliveryCurve},
+	}
+}
+
+func benchSweep(b *testing.B, noCache bool) {
+	b.Helper()
+	opt := Options{Seed: 1, Runs: 40, SecurityRuns: 1, TraceRuns: 1, Workers: 1}
+	spec := kSweepSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(opt)
+		e.noCache = noCache
+		if _, err := e.Run(&spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepModelCached measures the 10-value K-sweep with the
+// engine memo caches on (the default); BenchmarkSweepModelUncached is
+// the same sweep recomputing every hypoexponential CDF from scratch,
+// the pre-refactor behavior. Both produce byte-identical figures (see
+// TestEngineCacheBitIdentity); the delta is pure model-evaluation
+// time. Results are recorded in BENCH_scenario.json.
+func BenchmarkSweepModelCached(b *testing.B)   { benchSweep(b, false) }
+func BenchmarkSweepModelUncached(b *testing.B) { benchSweep(b, true) }

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Figure is one reproduced evaluation artifact.
+type Figure struct {
+	ID     string         `json:"id"` // e.g. "fig04"
+	Title  string         `json:"title"`
+	XLabel string         `json:"xLabel"`
+	YLabel string         `json:"yLabel"`
+	LogX   bool           `json:"logX,omitempty"`
+	Series []stats.Series `json:"series"`
+	Notes  []string       `json:"notes,omitempty"` // substitutions, skipped trials, caveats
+}
+
+// JSON renders the figure as indented JSON for machine consumption.
+func (f *Figure) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshal %s: %w", f.ID, err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Validate checks the figure's series for consistency.
+func (f *Figure) Validate() error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("scenario: figure %s has no series", f.ID)
+	}
+	for i := range f.Series {
+		if err := f.Series[i].Validate(); err != nil {
+			return fmt.Errorf("scenario: figure %s: %w", f.ID, err)
+		}
+		if len(f.Series[i].X) == 0 {
+			return fmt.Errorf("scenario: figure %s series %q is empty", f.ID, f.Series[i].Name)
+		}
+	}
+	return nil
+}
+
+// CSV renders the figure in tidy format: series,x,y,ci.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,x,y,ci\n")
+	for _, s := range f.Series {
+		for i := range s.X {
+			ci := 0.0
+			if s.CI != nil {
+				ci = s.CI[i]
+			}
+			fmt.Fprintf(&b, "%s,%s,%s,%s\n",
+				csvEscape(s.Name),
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', 6, 64),
+				strconv.FormatFloat(ci, 'g', 4, 64))
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Render draws an ASCII plot of the figure, suitable for terminals and
+// EXPERIMENTS.md. Markers a, b, c, ... identify series in the legend.
+func (f *Figure) Render(width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range f.Series {
+		for i := range s.X {
+			x, y := f.xCoord(s.X[i]), s.Y[i]
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if first {
+		return "(empty figure)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly so extremes stay visible.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		marker := byte('a' + si%26)
+		for i := range s.X {
+			col := int((f.xCoord(s.X[i]) - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "%9.3g +%s+\n", ymax, strings.Repeat("-", width))
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%9s |%s|\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%9.3g +%s+\n", ymin, strings.Repeat("-", width))
+	xLeft := strconv.FormatFloat(f.xTick(xmin), 'g', 3, 64)
+	xRight := strconv.FormatFloat(f.xTick(xmax), 'g', 3, 64)
+	gapWidth := width - len(xLeft) - len(xRight)
+	if gapWidth < 1 {
+		gapWidth = 1
+	}
+	fmt.Fprintf(&b, "%9s  %s%s%s  (%s)\n", "", xLeft, strings.Repeat(" ", gapWidth), xRight, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "          %c = %s\n", 'a'+si%26, s.Name)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "          note: %s\n", n)
+	}
+	return b.String()
+}
+
+func (f *Figure) xCoord(x float64) float64 {
+	if f.LogX && x > 0 {
+		return math.Log2(x)
+	}
+	return x
+}
+
+func (f *Figure) xTick(coord float64) float64 {
+	if f.LogX {
+		return math.Exp2(coord)
+	}
+	return coord
+}
+
+// SeriesByName returns the named series, if present.
+func (f *Figure) SeriesByName(name string) (*stats.Series, bool) {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i], true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,430 @@
+// Package scenario turns the paper's evaluations into data: a Scenario
+// is a declarative spec — a base core.Config, one or two named axis
+// mutations, and a measurement kind — and Engine is the single
+// evaluation core that runs any spec through the deterministic trial
+// pool (internal/runner) with the existing obs and fault wiring.
+//
+// Every figure and ablation in internal/experiment, and every
+// cmd/sweep invocation, is one of these specs; user-authored specs run
+// through `figures -scenario spec.json` without recompilation. The
+// engine memoizes repeated analytical-model evaluations (hypoexponential
+// delivery CDFs, traceable rates) behind keyed caches; cache hits
+// return previously computed values of the same pure functions, so
+// caching can never change output (see DESIGN.md).
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Options tunes evaluation effort. Defaults reproduce the paper's
+// shapes in seconds per figure; raise the run counts for smoother
+// curves.
+type Options struct {
+	Seed         uint64
+	Runs         int // routed messages per delivery/cost point
+	SecurityRuns int // sampled paths per security point
+	TraceRuns    int // routed messages per trace figure (paper: 50)
+	Workers      int // concurrent trial workers (0 = GOMAXPROCS); figures are byte-identical for any value
+	// FaultRate injects the deterministic fault layer into every
+	// generator that drives contacts: abstract simulations thin each
+	// pair process to λ(1−p) (core.Config.ContactFailure), trace
+	// replays drop each contact with probability p, and the runtime
+	// figures run under fault.Uniform(p). Analytical "model" series
+	// stay at the paper's ideal-contact curves. 0 (the default) is
+	// byte-identical to a build without the fault layer.
+	FaultRate float64
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	if o.Runs < 1 || o.SecurityRuns < 1 || o.TraceRuns < 1 {
+		return fmt.Errorf("scenario: run counts must be positive: %+v", o)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("scenario: workers must be non-negative (0 = GOMAXPROCS): %+v", o)
+	}
+	if o.FaultRate < 0 || o.FaultRate >= 1 {
+		return fmt.Errorf("scenario: fault rate %v out of [0,1)", o.FaultRate)
+	}
+	return nil
+}
+
+// Measurement kinds. Each selects one evaluation shape in the engine.
+const (
+	// KindDeliveryCurve simulates routed messages and plots empirical
+	// delivery rate vs. deadline, paired with the analytical curve
+	// (Eqs. 4-7) unless SimOnly is set. Series axis mutates the config;
+	// X axis is "deadline".
+	KindDeliveryCurve = "delivery-curve"
+	// KindSecurityPoint samples path realizations and measures the
+	// traceable rate (Eq. 1 vs. Eq. 12).
+	KindSecurityPoint = "security-point"
+	// KindAnonymity samples path realizations and measures path
+	// anonymity (Eqs. 13-20).
+	KindAnonymity = "anonymity"
+	// KindCost plots the transmission-cost bounds of Sec. IV-C against
+	// the simulated protocol, vs. the number of copies.
+	KindCost = "cost"
+	// KindTraceReplay replays a recorded contact trace (Sec. V-D/E)
+	// and plots delivery rate vs. deadline per copy count.
+	KindTraceReplay = "trace-replay"
+	// KindTable evaluates delivery, cost and both security metrics at
+	// a single operating point per axis value — cmd/sweep's format.
+	KindTable = "table"
+	// KindCustom dispatches to a generator registered with
+	// RegisterCustom; the spec still owns the ID, title and labels.
+	KindCustom = "custom"
+)
+
+// Pseudo-parameters accepted by Axis.Param alongside core.Config field
+// names.
+const (
+	// ParamFrac sweeps the compromised fraction c/n.
+	ParamFrac = "frac"
+	// ParamDeadline sweeps the message deadline T.
+	ParamDeadline = "deadline"
+	// ParamFault sweeps the per-contact failure rate.
+	ParamFault = "fault"
+)
+
+// configParams are the core.Config fields an axis may mutate.
+var configParams = map[string]bool{
+	"Nodes": true, "GroupSize": true, "Relays": true, "Copies": true,
+	"Spray": true, "MinICT": true, "MaxICT": true,
+}
+
+// intParams are the config params that only take integral values.
+var intParams = map[string]bool{
+	"Nodes": true, "GroupSize": true, "Relays": true, "Copies": true,
+}
+
+// Axis is one named sweep dimension: the parameter it mutates and the
+// values it takes. Labels name the resulting series; explicit Labels
+// win over LabelFormat (a Sprintf format applied to each value — "%d"
+// formats receive int(value)).
+type Axis struct {
+	// Name is the axis' display name, used in per-point phase labels
+	// (table kind) and diagnostics.
+	Name string `json:"name,omitempty"`
+	// Param is a core.Config field name (Nodes, GroupSize, Relays,
+	// Copies, Spray, MinICT, MaxICT) or a pseudo-parameter ("frac",
+	// "deadline", "fault"). Empty for axes whose meaning is implied by
+	// the kind (e.g. the cost kind's copies axis).
+	Param  string    `json:"param,omitempty"`
+	Values []float64 `json:"values"`
+	// Labels optionally names each value's series explicitly.
+	Labels []string `json:"labels,omitempty"`
+	// LabelFormat derives labels from values, e.g. "g=%d", "L=%d",
+	// "%d onions".
+	LabelFormat string `json:"labelFormat,omitempty"`
+}
+
+// Empty reports whether the axis has no values.
+func (a Axis) Empty() bool { return len(a.Values) == 0 }
+
+// Label returns the display label of the i-th value.
+func (a Axis) Label(i int) string {
+	if len(a.Labels) > 0 {
+		return a.Labels[i]
+	}
+	v := a.Values[i]
+	if a.LabelFormat != "" {
+		if strings.Contains(a.LabelFormat, "%d") {
+			return fmt.Sprintf(a.LabelFormat, int(v))
+		}
+		return fmt.Sprintf(a.LabelFormat, v)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// apply mutates cfg with the i-th axis value. Pseudo-parameters are
+// the caller's concern and are rejected here.
+func (a Axis) apply(cfg *core.Config, i int) error {
+	v := a.Values[i]
+	switch a.Param {
+	case "Nodes":
+		cfg.Nodes = int(v)
+	case "GroupSize":
+		cfg.GroupSize = int(v)
+	case "Relays":
+		cfg.Relays = int(v)
+	case "Copies":
+		cfg.Copies = int(v)
+	case "Spray":
+		cfg.Spray = v != 0
+	case "MinICT":
+		cfg.MinICT = v
+	case "MaxICT":
+		cfg.MaxICT = v
+	default:
+		return fmt.Errorf("scenario: axis param %q cannot mutate the config", a.Param)
+	}
+	return nil
+}
+
+// saltKey is the deterministic integer this axis value contributes to
+// security-sampling salts. A frac axis in X position contributes its
+// index; every other axis contributes its (legacy) integer value —
+// int(v*100) for fractions, int(v) for config parameters. These rules
+// reproduce the pre-refactor per-figure salt schemes bit-for-bit.
+func (a Axis) saltKey(i int, asX bool) int {
+	v := a.Values[i]
+	if a.Param == ParamFrac {
+		if asX {
+			return i
+		}
+		return int(v * 100)
+	}
+	return int(v)
+}
+
+// Measure selects and parameterizes the evaluation kind.
+type Measure struct {
+	Kind string `json:"kind"`
+	// Deadline is the fixed routing deadline for the cost and table
+	// kinds (minutes).
+	Deadline float64 `json:"deadline,omitempty"`
+	// Frac is the fixed compromised fraction for security kinds whose
+	// axes are both config parameters, and the table kind's default.
+	Frac float64 `json:"frac,omitempty"`
+	// RunToCompletion routes past the deadline so transmission counts
+	// include late deliveries (cost kind is always run-to-completion).
+	RunToCompletion bool `json:"runToCompletion,omitempty"`
+	// SimOnly drops the paired analytical series from delivery curves;
+	// series are then named by the axis label alone.
+	SimOnly bool `json:"simOnly,omitempty"`
+	// TxNotes appends a "<label>: <mean> mean transmissions" note per
+	// series (delivery-curve kind).
+	TxNotes bool `json:"txNotes,omitempty"`
+	// Trace names the recorded contact trace ("cambridge" or
+	// "infocom"). Required by trace-replay; on security kinds it marks
+	// the trace-population sampling style (small n from Base.Nodes,
+	// exact entropy forms, per-series seeds).
+	Trace string `json:"trace,omitempty"`
+	// SeriesSaltStride spaces the per-series security salts (legacy
+	// per-figure constants: 100..100000).
+	SeriesSaltStride int `json:"seriesSaltStride,omitempty"`
+	// Custom names a generator registered with RegisterCustom.
+	Custom string `json:"custom,omitempty"`
+}
+
+// Scenario is one declarative evaluation spec.
+type Scenario struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	XLabel string `json:"xLabel"`
+	YLabel string `json:"yLabel"`
+	LogX   bool   `json:"logX,omitempty"`
+	// Notes are static caveats appended after any dynamically
+	// generated notes (skipped-trial counts etc.).
+	Notes []string `json:"notes,omitempty"`
+	// Base is the configuration every axis value mutates. Base.Seed is
+	// always overridden by Options.Seed; Base.ContactFailure is
+	// overridden by Options.FaultRate when the latter is non-zero (for
+	// the kinds that drive contacts).
+	Base core.Config `json:"base"`
+	// Series is the per-series axis (one series — or Analysis +
+	// Simulation pair — per value).
+	Series Axis `json:"series,omitempty"`
+	// X is the per-point axis within each series.
+	X       Axis    `json:"x,omitempty"`
+	Measure Measure `json:"measure"`
+}
+
+// UnmarshalJSON decodes a spec with core.DefaultConfig() as the
+// starting Base, so hand-written specs only state the fields they
+// change.
+func (s *Scenario) UnmarshalJSON(data []byte) error {
+	type plain Scenario
+	tmp := plain{Base: core.DefaultConfig()}
+	if err := json.Unmarshal(data, &tmp); err != nil {
+		return err
+	}
+	*s = Scenario(tmp)
+	return nil
+}
+
+// ParseSpecs decodes a JSON spec file — either one Scenario object or
+// an array of them — with unknown fields rejected, defaults Base to
+// core.DefaultConfig() per spec, and validates every spec. Malformed
+// input fails loudly before any evaluation work.
+func ParseSpecs(data []byte) ([]Scenario, error) {
+	var raws []json.RawMessage
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(data, &raws); err != nil {
+			return nil, fmt.Errorf("scenario: parse spec list: %w", err)
+		}
+	} else {
+		raws = []json.RawMessage{data}
+	}
+	if len(raws) == 0 {
+		return nil, fmt.Errorf("scenario: spec file holds no specs")
+	}
+	specs := make([]Scenario, 0, len(raws))
+	seen := make(map[string]bool, len(raws))
+	for i, raw := range raws {
+		s, err := parseSpec(raw)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: spec %d: %w", i, err)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("scenario: duplicate spec id %q", s.ID)
+		}
+		seen[s.ID] = true
+		specs = append(specs, *s)
+	}
+	return specs, nil
+}
+
+func parseSpec(raw []byte) (*Scenario, error) {
+	type plain Scenario
+	tmp := plain{Base: core.DefaultConfig()}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tmp); err != nil {
+		return nil, err
+	}
+	s := Scenario(tmp)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func validAxisValues(name string, a Axis) error {
+	for _, v := range a.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("scenario: %s axis value %v is not finite", name, v)
+		}
+	}
+	if len(a.Labels) > 0 && len(a.Labels) != len(a.Values) {
+		return fmt.Errorf("scenario: %s axis has %d labels for %d values", name, len(a.Labels), len(a.Values))
+	}
+	if a.Param != "" && a.Param != ParamFrac && a.Param != ParamDeadline && a.Param != ParamFault {
+		if !configParams[a.Param] {
+			return fmt.Errorf("scenario: unknown axis param %q", a.Param)
+		}
+		if intParams[a.Param] {
+			for _, v := range a.Values {
+				if v != math.Trunc(v) {
+					return fmt.Errorf("scenario: param %q takes integer values, got %v", a.Param, v)
+				}
+				if v < math.MinInt32 || v > math.MaxInt32 {
+					return fmt.Errorf("scenario: param %q value %v out of integer range", a.Param, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks the spec for structural sanity: known kind, known
+// axis params, non-empty axes where the kind requires them, finite
+// values, matching label counts. It is called by Engine.Run and by the
+// JSON loading path, so malformed specs fail loudly before any work.
+func (s *Scenario) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("scenario: spec has no id")
+	}
+	if err := validAxisValues("series", s.Series); err != nil {
+		return fmt.Errorf("%w (spec %s)", err, s.ID)
+	}
+	if err := validAxisValues("x", s.X); err != nil {
+		return fmt.Errorf("%w (spec %s)", err, s.ID)
+	}
+	if math.IsNaN(s.Measure.Frac) || s.Measure.Frac < 0 || s.Measure.Frac >= 1 {
+		return fmt.Errorf("scenario: %s: measure frac %v out of [0,1)", s.ID, s.Measure.Frac)
+	}
+	if math.IsNaN(s.Measure.Deadline) || math.IsInf(s.Measure.Deadline, 0) || s.Measure.Deadline < 0 {
+		return fmt.Errorf("scenario: %s: measure deadline %v invalid", s.ID, s.Measure.Deadline)
+	}
+	switch s.Measure.Kind {
+	case KindDeliveryCurve:
+		if s.Series.Empty() {
+			return fmt.Errorf("scenario: %s: delivery-curve needs a non-empty series axis", s.ID)
+		}
+		if !configParams[s.Series.Param] {
+			return fmt.Errorf("scenario: %s: delivery-curve series axis must mutate a config param, got %q", s.ID, s.Series.Param)
+		}
+		if s.X.Param != ParamDeadline || s.X.Empty() {
+			return fmt.Errorf("scenario: %s: delivery-curve needs a non-empty %q x axis", s.ID, ParamDeadline)
+		}
+	case KindSecurityPoint, KindAnonymity:
+		if s.Series.Empty() || s.X.Empty() {
+			return fmt.Errorf("scenario: %s: %s needs non-empty series and x axes", s.ID, s.Measure.Kind)
+		}
+		seriesFrac := s.Series.Param == ParamFrac
+		xFrac := s.X.Param == ParamFrac
+		if seriesFrac && xFrac {
+			return fmt.Errorf("scenario: %s: only one axis may sweep %q", s.ID, ParamFrac)
+		}
+		if !seriesFrac && !configParams[s.Series.Param] {
+			return fmt.Errorf("scenario: %s: series axis param %q unknown", s.ID, s.Series.Param)
+		}
+		if !xFrac && !configParams[s.X.Param] {
+			return fmt.Errorf("scenario: %s: x axis param %q unknown", s.ID, s.X.Param)
+		}
+		if !seriesFrac && !xFrac && s.Measure.Frac <= 0 {
+			return fmt.Errorf("scenario: %s: no %q axis and no fixed measure frac", s.ID, ParamFrac)
+		}
+		if s.Measure.Trace == "" && s.Measure.SeriesSaltStride <= 0 {
+			return fmt.Errorf("scenario: %s: security kinds need a positive seriesSaltStride", s.ID)
+		}
+		if s.Measure.Trace != "" {
+			if s.Measure.Trace != TraceCambridge && s.Measure.Trace != TraceInfocom {
+				return fmt.Errorf("scenario: %s: unknown trace %q", s.ID, s.Measure.Trace)
+			}
+			// Trace-population sampling seeds one stream per copy count
+			// and sweeps the fraction on x.
+			if s.Series.Param != "Copies" {
+				return fmt.Errorf("scenario: %s: trace security kinds need a Copies series axis, got %q", s.ID, s.Series.Param)
+			}
+			if !xFrac {
+				return fmt.Errorf("scenario: %s: trace security kinds sweep %q on the x axis", s.ID, ParamFrac)
+			}
+		}
+	case KindCost:
+		if s.X.Param != "Copies" || s.X.Empty() {
+			return fmt.Errorf("scenario: %s: cost needs a non-empty Copies x axis", s.ID)
+		}
+		if s.Measure.Deadline <= 0 {
+			return fmt.Errorf("scenario: %s: cost needs a positive measure deadline", s.ID)
+		}
+	case KindTraceReplay:
+		if s.Measure.Trace != TraceCambridge && s.Measure.Trace != TraceInfocom {
+			return fmt.Errorf("scenario: %s: trace-replay needs trace %q or %q, got %q", s.ID, TraceCambridge, TraceInfocom, s.Measure.Trace)
+		}
+		if s.Series.Param != "Copies" || s.Series.Empty() {
+			return fmt.Errorf("scenario: %s: trace-replay needs a non-empty Copies series axis", s.ID)
+		}
+		if s.X.Param != ParamDeadline || s.X.Empty() {
+			return fmt.Errorf("scenario: %s: trace-replay needs a non-empty %q x axis", s.ID, ParamDeadline)
+		}
+	case KindTable:
+		if s.X.Empty() {
+			return fmt.Errorf("scenario: %s: table needs a non-empty x axis", s.ID)
+		}
+		p := s.X.Param
+		if !configParams[p] && p != ParamFrac && p != ParamDeadline && p != ParamFault {
+			return fmt.Errorf("scenario: %s: table axis param %q unknown", s.ID, p)
+		}
+		if s.Measure.Deadline <= 0 {
+			return fmt.Errorf("scenario: %s: table needs a positive measure deadline", s.ID)
+		}
+	case KindCustom:
+		if _, ok := customs[s.Measure.Custom]; !ok {
+			return fmt.Errorf("scenario: %s: custom generator %q not registered", s.ID, s.Measure.Custom)
+		}
+	default:
+		return fmt.Errorf("scenario: %s: unknown measurement kind %q", s.ID, s.Measure.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// securityMetric selects the sampled metric for one outcome.
+func securityMetric(kind string, o core.SecurityOutcome) float64 {
+	if kind == KindSecurityPoint {
+		return o.TraceableRate
+	}
+	return o.PathAnonymity
+}
+
+// securityPoint measures one fast-mode security point. Samples are
+// drawn concurrently on workers workers and accumulated in trial
+// order.
+func securityPoint(nw *core.Network, frac float64, runs, workers, salt int, metric func(core.SecurityOutcome) float64) (stats.Summary, error) {
+	vals, err := runner.MapTrials(workers, runs, func(i int) (float64, error) {
+		out, err := nw.FastSecurityTrial(frac, salt*1000003+i)
+		if err != nil {
+			return 0, err
+		}
+		return metric(out), nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	var acc stats.Accumulator
+	for _, v := range vals {
+		acc.Add(v)
+	}
+	return acc.Summarize(), nil
+}
+
+// securitySweep runs the random-network security kinds: one Analysis +
+// Simulation pair per series value, a point per X value. Either axis
+// may sweep the compromised fraction; a spec with two config axes
+// fixes the fraction at Measure.Frac. Per-point sampling salts are
+// seriesKey*SeriesSaltStride + xKey (see Axis.saltKey), reproducing
+// the historical per-figure schemes exactly.
+func (e *Engine) securitySweep(s *Scenario) ([]stats.Series, []string, error) {
+	opt := e.opt
+	xIsFrac := s.X.Param == ParamFrac
+	seriesIsFrac := s.Series.Param == ParamFrac
+	var series []stats.Series
+	for si := range s.Series.Values {
+		label := s.Series.Label(si)
+		analysis := stats.Series{Name: "Analysis: " + label}
+		simulation := stats.Series{Name: "Simulation: " + label}
+		for xi, xv := range s.X.Values {
+			cfg, err := e.seriesConfig(s, si, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !xIsFrac {
+				if err := s.X.apply(&cfg, xi); err != nil {
+					return nil, nil, err
+				}
+			}
+			frac := s.Measure.Frac
+			switch {
+			case xIsFrac:
+				frac = xv
+			case seriesIsFrac:
+				frac = s.Series.Values[si]
+			}
+			nw, err := e.network(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			var modelVal float64
+			if s.Measure.Kind == KindSecurityPoint {
+				modelVal = e.TraceableRate(cfg.Relays+1, frac)
+			} else {
+				modelVal = nw.ModelPathAnonymity(frac)
+			}
+			analysis.Append(xv, modelVal, 0)
+			salt := s.Series.saltKey(si, false)*s.Measure.SeriesSaltStride + s.X.saltKey(xi, true)
+			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, salt,
+				func(o core.SecurityOutcome) float64 { return securityMetric(s.Measure.Kind, o) })
+			if err != nil {
+				return nil, nil, err
+			}
+			simulation.Append(xv, sum.Mean, sum.CI95)
+		}
+		series = append(series, analysis, simulation)
+	}
+	return series, nil, nil
+}
+
+// traceSecurity runs the security kinds in trace-population style
+// (Sec. V-D): the metrics are contact-graph independent, so only the
+// population size Base.Nodes, the group size, the relay count and the
+// per-series copy count matter. The small-n trace populations use the
+// exact entropy ratio (Eqs. 14/17) instead of the Stirling form, whose
+// n >> K premise fails there. One root stream per series value, seeded
+// opt.Seed + copies; per-sample substreams labeled fracIndex*1e6 + i.
+func (e *Engine) traceSecurity(s *Scenario) ([]stats.Series, []string, error) {
+	opt := e.opt
+	n, g, relays := s.Base.Nodes, s.Base.GroupSize, s.Base.Relays
+	fracs := s.X.Values
+	var series []stats.Series
+	for si := range s.Series.Values {
+		l := int(s.Series.Values[si])
+		label := s.Series.Label(si)
+		analysis := stats.Series{Name: "Analysis: " + label}
+		for _, frac := range fracs {
+			var v float64
+			if s.Measure.Kind == KindSecurityPoint {
+				v = e.TraceableRate(relays+1, frac)
+			} else {
+				v = model.PathAnonymityMultiCopyExact(n, relays+1, g, frac, l)
+			}
+			analysis.Append(frac, v, 0)
+		}
+		root := rng.New(opt.Seed + uint64(l))
+		simulation := stats.Series{Name: "Simulation: " + label}
+		for fi, frac := range fracs {
+			vals, err := runner.MapTrials(opt.Workers, opt.SecurityRuns, func(i int) (float64, error) {
+				st := root.SplitN("trial", fi*1000000+i)
+				adv, err := adversary.RandomFraction(n, frac, st.Split("adv"))
+				if err != nil {
+					return 0, err
+				}
+				senders, err := adversary.SampleSenders(n, relays, st.Split("senders"))
+				if err != nil {
+					return 0, err
+				}
+				positions, err := adversary.SamplePositions(n, relays, l, g, l > 1, st.Split("positions"))
+				if err != nil {
+					return 0, err
+				}
+				if s.Measure.Kind == KindSecurityPoint {
+					return model.TraceableRateOfPath(adv.SenderBits(senders)), nil
+				}
+				return model.PathAnonymityExact(n, relays+1, g, float64(adv.PositionsCompromised(positions))), nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			var acc stats.Accumulator
+			for _, v := range vals {
+				acc.Add(v)
+			}
+			simulation.Append(frac, acc.Mean(), acc.CI95())
+		}
+		series = append(series, analysis, simulation)
+	}
+	return series, nil, nil
+}

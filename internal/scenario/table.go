@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// Fixed series produced by the table kind, in column order.
+var tableSeries = []string{
+	"delivery sim", "delivery model", "transmissions",
+	"traceable sim", "traceable model", "anonymity sim", "anonymity model",
+}
+
+// table evaluates the one-axis tradeoff sweep behind cmd/sweep: every
+// X value yields one row of simulation and analysis metrics, emitted
+// as seven fixed series (one per column). Unlike the delivery-curve
+// kind, a trial that fails to find an eligible group path is an error,
+// not a skip — the historical sweep semantics.
+func (e *Engine) table(s *Scenario) ([]stats.Series, []string, error) {
+	opt := e.opt
+	axisName := s.X.Name
+	if axisName == "" {
+		axisName = s.X.Param
+	}
+	series := make([]stats.Series, len(tableSeries))
+	for i, name := range tableSeries {
+		series[i] = stats.Series{Name: name}
+	}
+	for xi, v := range s.X.Values {
+		endPhase := obs.Current().StartPhase(fmt.Sprintf("%s=%v", axisName, v))
+		cfg := s.Base
+		cfg.Seed = opt.Seed
+		dl, frac := s.Measure.Deadline, s.Measure.Frac
+		switch s.X.Param {
+		case ParamFrac:
+			frac = v
+		case ParamDeadline:
+			dl = v
+		case ParamFault:
+			cfg.ContactFailure = v
+		default:
+			if err := s.X.apply(&cfg, xi); err != nil {
+				endPhase()
+				return nil, nil, err
+			}
+		}
+		row, err := e.tablePoint(cfg, dl, frac)
+		endPhase()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s=%v: %w", axisName, v, err)
+		}
+		for i := range series {
+			series[i].Append(v, row[i], 0)
+		}
+	}
+	return series, nil, nil
+}
+
+// tablePoint measures one sweep row, returning values in tableSeries
+// order.
+func (e *Engine) tablePoint(cfg core.Config, deadline, frac float64) ([7]float64, error) {
+	opt := e.opt
+	var row [7]float64
+	nw, err := e.network(cfg)
+	if err != nil {
+		return row, err
+	}
+	row[4] = e.TraceableRate(cfg.Relays+1, frac)
+	row[6] = nw.ModelPathAnonymity(frac)
+	type trialOut struct {
+		delivered              bool
+		model, tx, trace, anon float64
+	}
+	trials, err := runner.MapTrials(opt.Workers, opt.Runs, func(i int) (trialOut, error) {
+		trial, err := nw.NewTrial(i)
+		if err != nil {
+			return trialOut{}, err
+		}
+		res, err := nw.Route(trial, deadline, true, i)
+		if err != nil {
+			return trialOut{}, err
+		}
+		// Thinned model: identical to ModelDelivery when the
+		// contact-failure rate is zero.
+		m, err := e.DeliveryRate(nw.ThinnedRates(trial), cfg.Copies, deadline)
+		if err != nil {
+			return trialOut{}, err
+		}
+		sec, err := nw.FastSecurityTrial(frac, i)
+		if err != nil {
+			return trialOut{}, err
+		}
+		return trialOut{
+			delivered: res.Delivered,
+			model:     m,
+			tx:        float64(res.Transmissions),
+			trace:     sec.TraceableRate,
+			anon:      sec.PathAnonymity,
+		}, nil
+	})
+	if err != nil {
+		return row, err
+	}
+	var delivered int
+	var model, tx, tr, an stats.Accumulator
+	for _, to := range trials {
+		if to.delivered {
+			delivered++
+		}
+		model.Add(to.model)
+		tx.Add(to.tx)
+		tr.Add(to.trace)
+		an.Add(to.anon)
+	}
+	row[0] = float64(delivered) / float64(opt.Runs)
+	row[1] = model.Mean()
+	row[2] = tx.Mean()
+	row[3] = tr.Mean()
+	row[5] = an.Mean()
+	return row, nil
+}
