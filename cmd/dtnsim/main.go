@@ -10,12 +10,20 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"text/tabwriter"
 
+	"repro/internal/atomicio"
+	"repro/internal/checkpoint"
 	"repro/internal/contact"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -24,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -54,6 +63,9 @@ func run(args []string, out io.Writer) error {
 		graphPath   = fs.String("graph", "", "load the contact graph from a file (contact exchange format)")
 		saveGraph   = fs.String("save-graph", "", "save the generated contact graph to a file")
 		tracePath   = fs.String("trace", "", "replay a contact trace file instead of a synthetic graph (onion protocol only; deadline in seconds)")
+		ckptDir     = fs.String("checkpoint", "", "directory for the run's checkpoint file (onion protocol only); completed trials persist across interruptions")
+		resume      = fs.Bool("resume", false, "load completed trials from -checkpoint and run only the remainder")
+		trialTO     = fs.Duration("trial-timeout", 0, "per-trial watchdog: a trial exceeding this is retried once, then quarantined (0 = no watchdog)")
 	)
 	// -trace already means contact-trace replay here, so the runtime
 	// execution-trace profile is spelled -exectrace.
@@ -68,11 +80,37 @@ func run(args []string, out io.Writer) error {
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
 	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
+	}
+	if *ckptDir != "" && (*protocol != "onion" || *tracePath != "") {
+		return fmt.Errorf("-checkpoint supports only the synthetic-graph onion protocol")
+	}
 	obsRun, err := rf.Begin("dtnsim", args)
 	if err != nil {
 		return err
 	}
 	defer obsRun.Abort()
+
+	// SIGINT/SIGTERM drain the supervised trial loop (flushing the
+	// checkpoint) instead of losing the run.
+	sup := runner.NewSupervisor(*trialTO)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigDone := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sigc:
+			fmt.Fprintf(os.Stderr, "dtnsim: received %v, draining (completed trials are checkpointed)\n", s)
+			obsRun.RecordEvent(obs.RunEvent{Kind: obs.EventInterrupted, Detail: s.String()})
+			sup.Stop()
+		case <-sigDone:
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigDone)
+	}()
 
 	endPhase := obs.Current().StartPhase(*protocol)
 	switch {
@@ -82,7 +120,13 @@ func run(args []string, out io.Writer) error {
 		}
 		err = runTrace(out, *tracePath, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
 	case *protocol == "onion":
-		err = runOnion(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *compromised, *faults, *graphPath, *saveGraph)
+		oc := onionConfig{
+			n: *n, g: *g, k: *k, l: *l, spray: *spray, deadline: *deadline,
+			runs: *runs, seed: *seed, frac: *compromised, faults: *faults,
+			graphPath: *graphPath, saveGraph: *saveGraph,
+			ckptDir: *ckptDir, resume: *resume,
+		}
+		err = runOnion(out, oc, sup, obsRun)
 	case *protocol == "runtime":
 		err = runRuntime(out, *n, *g, *k, *l, *spray, *deadline, *runs, *seed, *faults)
 	case *protocol == "epidemic", *protocol == "sprayandwait", *protocol == "binaryspray",
@@ -92,7 +136,15 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
 	endPhase()
+	for _, te := range sup.Quarantined() {
+		obsRun.RecordEvent(obs.RunEvent{
+			Kind: obs.EventTrialQuarantined, Detail: te.Error(), Batch: te.Batch, Trial: te.Trial,
+		})
+	}
 	if err != nil {
+		if errors.Is(err, runner.ErrInterrupted) && *ckptDir != "" {
+			return fmt.Errorf("%w; rerun with -resume to continue", err)
+		}
 		return err
 	}
 	type manifestConfig struct {
@@ -114,15 +166,54 @@ func run(args []string, out io.Writer) error {
 	}, *seed, 1, *faults)
 }
 
-func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs int, seed uint64, frac, faults float64, graphPath, saveGraph string) error {
+// onionConfig carries runOnion's scenario parameters; the checkpoint
+// key hashes every field that changes trial outcomes.
+type onionConfig struct {
+	n, g, k, l           int
+	spray                bool
+	deadline             float64
+	runs                 int
+	seed                 uint64
+	frac, faults         float64
+	graphPath, saveGraph string
+	ckptDir              string
+	resume               bool
+}
+
+// key derives the checkpoint identity for this onion run. Unlike the
+// figure engine there is no scenario spec to hash, so every
+// outcome-affecting parameter goes into the digest directly.
+func (c onionConfig) key() checkpoint.Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "dtnsim/onion|n=%d|g=%d|K=%d|L=%d|spray=%v|T=%v|runs=%d|frac=%v|faults=%v|graph=%s",
+		c.n, c.g, c.k, c.l, c.spray, c.deadline, c.runs, c.frac, c.faults, c.graphPath)
+	return checkpoint.Key{
+		GitRevision: obs.GitRevision(),
+		SpecHash:    hex.EncodeToString(h.Sum(nil)),
+		Seed:        c.seed,
+	}
+}
+
+// onionTrial is one routed message's outcome; gob-encoded into the
+// checkpoint, so every field is exported.
+type onionTrial struct {
+	Delivered       bool
+	Time            float64
+	Tx              float64
+	Model           float64
+	SecOK           bool
+	Traceable, Anon float64
+}
+
+func runOnion(out io.Writer, c onionConfig, sup *runner.Supervisor, obsRun *obs.Run) error {
 	cfg := core.Config{
-		Nodes: n, GroupSize: g, Relays: k, Copies: l, Spray: spray,
-		MinICT: 1, MaxICT: 360, Seed: seed, ContactFailure: faults,
+		Nodes: c.n, GroupSize: c.g, Relays: c.k, Copies: c.l, Spray: c.spray,
+		MinICT: 1, MaxICT: 360, Seed: c.seed, ContactFailure: c.faults,
 	}
 	var nw *core.Network
 	var err error
-	if graphPath != "" {
-		f, err := os.Open(graphPath)
+	if c.graphPath != "" {
+		f, err := os.Open(c.graphPath)
 		if err != nil {
 			return fmt.Errorf("open graph: %w", err)
 		}
@@ -144,54 +235,102 @@ func runOnion(out io.Writer, n, g, k, l int, spray bool, deadline float64, runs 
 			return err
 		}
 	}
-	if saveGraph != "" {
-		f, err := os.Create(saveGraph)
+	if c.saveGraph != "" {
+		err := atomicio.WriteTo(c.saveGraph, 0o644, func(w io.Writer) error {
+			_, err := nw.Graph().WriteTo(w)
+			return err
+		})
 		if err != nil {
-			return fmt.Errorf("create graph file: %w", err)
-		}
-		if _, err := nw.Graph().WriteTo(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
+			return fmt.Errorf("save graph: %w", err)
 		}
 	}
 
+	var store runner.ResultStore
+	if c.ckptDir != "" {
+		if err := os.MkdirAll(c.ckptDir, 0o755); err != nil {
+			return fmt.Errorf("create checkpoint dir: %w", err)
+		}
+		path := filepath.Join(c.ckptDir, "dtnsim-onion.ckpt")
+		_, statErr := os.Stat(path)
+		var ck *checkpoint.Store
+		if c.resume && statErr == nil {
+			ck, err = checkpoint.Resume(path, c.key())
+			if err != nil {
+				return err
+			}
+			if n := ck.Loaded(); n > 0 {
+				fmt.Fprintf(os.Stderr, "dtnsim: resumed %d completed trials from %s\n", n, path)
+				obsRun.RecordEvent(obs.RunEvent{
+					Kind:   obs.EventResumed,
+					Detail: fmt.Sprintf("%d trials from %s", n, path),
+				})
+			}
+		} else {
+			if c.resume {
+				fmt.Fprintf(os.Stderr, "dtnsim: no checkpoint at %s, starting fresh\n", path)
+			}
+			ck, err = checkpoint.Create(path, c.key())
+			if err != nil {
+				return err
+			}
+		}
+		defer ck.Close()
+		store = ck
+	}
+
+	// One worker: trials share the network object, whose model caches
+	// are not synchronized. Supervision still buys checkpointing, drain
+	// on SIGINT, and panic/watchdog quarantine.
+	trials, err := runner.Supervised(sup, store, "dtnsim/onion", 1, c.runs, func(i int) (onionTrial, error) {
+		trial, err := nw.NewTrial(i)
+		if err != nil {
+			return onionTrial{}, err
+		}
+		res, err := nw.Route(trial, c.deadline, true, i)
+		if err != nil {
+			return onionTrial{}, err
+		}
+		var o onionTrial
+		o.Delivered = res.Delivered
+		o.Time = res.Time
+		o.Tx = float64(res.Transmissions)
+		// Thinned model: identical to ModelDelivery when faults == 0.
+		o.Model, err = nw.ModelDeliveryLossy(trial, c.deadline)
+		if err != nil {
+			return onionTrial{}, err
+		}
+		sec, ok, err := nw.SecurityFromResult(res, c.frac, i)
+		if err != nil {
+			return onionTrial{}, err
+		}
+		if ok {
+			o.SecOK, o.Traceable, o.Anon = true, sec.TraceableRate, sec.PathAnonymity
+		}
+		return o, nil
+	})
+	if err != nil {
+		return err
+	}
 	var delivered int
 	var delay, tx, modelDelivery stats.Accumulator
 	var simTrace, simAnon stats.Accumulator
-	for i := 0; i < runs; i++ {
-		trial, err := nw.NewTrial(i)
-		if err != nil {
-			return err
-		}
-		res, err := nw.Route(trial, deadline, true, i)
-		if err != nil {
-			return err
-		}
-		if res.Delivered {
+	for _, o := range trials {
+		if o.Delivered {
 			delivered++
-			delay.Add(res.Time)
+			delay.Add(o.Time)
 		}
-		tx.Add(float64(res.Transmissions))
-		// Thinned model: identical to ModelDelivery when faults == 0.
-		m, err := nw.ModelDeliveryLossy(trial, deadline)
-		if err != nil {
-			return err
-		}
-		modelDelivery.Add(m)
-		if sec, ok, err := nw.SecurityFromResult(res, frac, i); err != nil {
-			return err
-		} else if ok {
-			simTrace.Add(sec.TraceableRate)
-			simAnon.Add(sec.PathAnonymity)
+		tx.Add(o.Tx)
+		modelDelivery.Add(o.Model)
+		if o.SecOK {
+			simTrace.Add(o.Traceable)
+			simAnon.Add(o.Anon)
 		}
 	}
 
+	n, g, k, l, spray, deadline, runs, frac := c.n, c.g, c.k, c.l, c.spray, c.deadline, c.runs, c.frac
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "scenario\tn=%d g=%d K=%d L=%d spray=%v T=%v min c/n=%.0f%% faults=%v\n",
-		n, g, k, l, spray, deadline, frac*100, faults)
+		n, g, k, l, spray, deadline, frac*100, c.faults)
 	fmt.Fprintf(tw, "metric\tsimulation\tanalysis\n")
 	fmt.Fprintf(tw, "delivery rate\t%.4f\t%.4f\n", float64(delivered)/float64(runs), modelDelivery.Mean())
 	if delivered > 0 {

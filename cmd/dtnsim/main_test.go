@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -141,5 +142,45 @@ func TestRuntimeMode(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("runtime output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestOnionCheckpointResume pins dtnsim's crash-safety wiring: a run
+// with -checkpoint reruns byte-identically with -resume (trials served
+// from the checkpoint), -resume without -checkpoint is refused, the
+// flag is rejected for protocols without a trial pool, and a foreign
+// checkpoint (different parameters) is rejected loudly.
+func TestOnionCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-n", "40", "-g", "4", "-k", "2", "-l", "2", "-runs", "30",
+		"-deadline", "300", "-checkpoint", dir,
+	}
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "dtnsim-onion.ckpt")); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	var resumed bytes.Buffer
+	if err := run(append(args, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), resumed.Bytes()) {
+		t.Fatalf("resumed report differs:\n%s\nvs\n%s", resumed.String(), first.String())
+	}
+
+	if err := run([]string{"-resume"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("-resume without -checkpoint: err = %v, want flag error", err)
+	}
+	if err := run([]string{"-protocol", "epidemic", "-checkpoint", dir}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "onion") {
+		t.Fatalf("-checkpoint with epidemic: err = %v, want rejection", err)
+	}
+	foreign := append(append([]string(nil), args...), "-resume", "-seed", "9")
+	if err := run(foreign, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("foreign checkpoint: err = %v, want key mismatch", err)
 	}
 }

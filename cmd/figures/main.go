@@ -1,24 +1,34 @@
 // Command figures regenerates the paper's evaluation figures
 // (Figs. 4-19). For each figure it can print an ASCII plot and write a
-// tidy CSV next to it.
+// tidy CSV next to it. Runs are crash-safe: with -checkpoint, every
+// completed trial is persisted and an interrupted run resumes via
+// -resume with byte-identical final artifacts.
 //
 // Usage:
 //
 //	figures -fig all -out results/
 //	figures -fig fig11 -runs 1000
 //	figures -fig fig04 -manifest out.json -cpuprofile cpu.prof
+//	figures -fig fig04 -checkpoint .ckpt     # Ctrl-C safe
+//	figures -fig fig04 -checkpoint .ckpt -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
+	"repro/internal/checkpoint"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -46,6 +56,9 @@ func run(args []string, out *os.File) error {
 		parallel     = fs.Int("parallel", 1, "figures generated concurrently")
 		width        = fs.Int("width", 72, "plot width")
 		height       = fs.Int("height", 18, "plot height")
+		ckptDir      = fs.String("checkpoint", "", "directory for per-figure checkpoint files; completed trials persist across interruptions")
+		resume       = fs.Bool("resume", false, "load completed trials from -checkpoint and run only the remainder (byte-identical to an uninterrupted run at any -workers)")
+		trialTimeout = fs.Duration("trial-timeout", 0, "per-trial watchdog: a trial exceeding this is retried once, then quarantined (0 = no watchdog)")
 	)
 	rf := obs.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +69,14 @@ func run(args []string, out *os.File) error {
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("create checkpoint dir: %w", err)
 		}
 	}
 	obsRun, err := rf.Begin("figures", args)
@@ -87,35 +108,37 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
 	}
 
-	var reg map[string]experiment.Generator
-	var selected []string
+	var specs []scenario.Scenario
+	var sharedEng *scenario.Engine
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
 		if err != nil {
 			return fmt.Errorf("read scenario spec: %w", err)
 		}
-		specs, err := scenario.ParseSpecs(data)
+		specs, err = scenario.ParseSpecs(data)
 		if err != nil {
 			return err
 		}
-		// One engine shared across the file's specs so repeated
-		// analytical-model evaluations hit the memo cache.
-		eng := scenario.NewEngine(opt)
-		reg = make(map[string]experiment.Generator, len(specs))
-		for i := range specs {
-			spec := specs[i]
-			reg[spec.ID] = func(experiment.Options) (*experiment.Figure, error) {
-				return eng.Run(&spec)
-			}
-			selected = append(selected, spec.ID)
+		if *ckptDir == "" {
+			// One engine shared across the file's specs so repeated
+			// analytical-model evaluations hit the memo cache. With
+			// checkpoints each spec needs its own store, hence its own
+			// engine.
+			sharedEng = scenario.NewEngine(opt)
 		}
 	} else {
-		var ids []string
-		reg, ids = experiment.Registry()
-		ablReg, ablIDs := experiment.AblationRegistry()
-		for id, gen := range ablReg {
-			reg[id] = gen
+		figSpecs, ablSpecs := experiment.FigureSpecs(), experiment.AblationSpecs()
+		byID := make(map[string]scenario.Scenario, len(figSpecs)+len(ablSpecs))
+		var ids, ablIDs []string
+		for _, s := range figSpecs {
+			byID[s.ID] = s
+			ids = append(ids, s.ID)
 		}
+		for _, s := range ablSpecs {
+			byID[s.ID] = s
+			ablIDs = append(ablIDs, s.ID)
+		}
+		var selected []string
 		switch *figID {
 		case "all":
 			selected = ids
@@ -128,27 +151,102 @@ func run(args []string, out *os.File) error {
 			if len(id) <= 2 { // allow "-fig 4" and "-fig 11"
 				id = fmt.Sprintf("fig%02s", id)
 			}
-			if _, ok := reg[id]; !ok {
+			if _, ok := byID[id]; !ok {
 				return fmt.Errorf("unknown figure %q (known: %v + %v)", *figID, ids, ablIDs)
 			}
 			selected = []string{id}
 		}
+		for _, id := range selected {
+			specs = append(specs, byID[id])
+		}
 	}
-	figures := make([]*experiment.Figure, len(selected))
-	elapsed := make([]time.Duration, len(selected))
-	errs := make([]error, len(selected))
+
+	// One supervisor for the whole invocation: SIGINT/SIGTERM request a
+	// drain (in-flight trials finish, checkpoints flush, the run exits
+	// nonzero), and a panicking or hung trial is quarantined instead of
+	// killing the process.
+	sup := runner.NewSupervisor(*trialTimeout)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigDone := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sigc:
+			fmt.Fprintf(os.Stderr, "figures: received %v, draining (completed trials are checkpointed)\n", s)
+			obsRun.RecordEvent(obs.RunEvent{Kind: obs.EventInterrupted, Detail: s.String()})
+			sup.Stop()
+		case <-sigDone:
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigDone)
+	}()
+	if sharedEng != nil {
+		sharedEng.Supervise(sup, nil)
+	}
+
+	generate := func(spec *scenario.Scenario) (*experiment.Figure, error) {
+		if sharedEng != nil {
+			return sharedEng.Run(spec)
+		}
+		eng := scenario.NewEngine(opt)
+		var store *checkpoint.Store
+		if *ckptDir != "" {
+			key, err := scenario.RunKey(spec, opt)
+			if err != nil {
+				return nil, err
+			}
+			path := filepath.Join(*ckptDir, spec.ID+".ckpt")
+			_, statErr := os.Stat(path)
+			if *resume && statErr == nil {
+				store, err = checkpoint.Resume(path, key)
+				if err != nil {
+					return nil, err
+				}
+				if n := store.Loaded(); n > 0 {
+					fmt.Fprintf(os.Stderr, "figures: %s: resumed %d completed trials from %s\n", spec.ID, n, path)
+					obsRun.RecordEvent(obs.RunEvent{
+						Kind:   obs.EventResumed,
+						Detail: fmt.Sprintf("%s: %d trials from %s", spec.ID, n, path),
+					})
+				}
+			} else {
+				if *resume {
+					fmt.Fprintf(os.Stderr, "figures: %s: no checkpoint at %s, starting fresh\n", spec.ID, path)
+				}
+				store, err = checkpoint.Create(path, key)
+				if err != nil {
+					return nil, err
+				}
+			}
+			defer store.Close()
+			eng.Supervise(sup, store)
+		} else {
+			eng.Supervise(sup, nil)
+		}
+		return eng.Run(spec)
+	}
+
+	figures := make([]*experiment.Figure, len(specs))
+	elapsed := make([]time.Duration, len(specs))
+	errs := make([]error, len(specs))
 	sem := make(chan struct{}, *parallel)
 	var wg sync.WaitGroup
-	for idx, id := range selected {
-		idx, id := idx, id
+	for idx := range specs {
+		idx := idx
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			endPhase := obs.Current().StartPhase(id)
+			if sup.Stopping() {
+				errs[idx] = fmt.Errorf("%s: %w", specs[idx].ID, runner.ErrInterrupted)
+				return
+			}
+			endPhase := obs.Current().StartPhase(specs[idx].ID)
 			start := time.Now()
-			fig, err := reg[id](opt)
+			fig, err := generate(&specs[idx])
 			if err == nil {
 				err = fig.Validate()
 			}
@@ -158,9 +256,27 @@ func run(args []string, out *os.File) error {
 	}
 	wg.Wait()
 
-	for idx, id := range selected {
+	// Quarantined trials are manifest events; the run still exits
+	// nonzero identifying them.
+	for _, te := range sup.Quarantined() {
+		obsRun.RecordEvent(obs.RunEvent{
+			Kind:   obs.EventTrialQuarantined,
+			Detail: firstLine(te.Error()),
+			Batch:  te.Batch,
+			Trial:  te.Trial,
+		})
+	}
+
+	// Write every successful figure (atomically — a kill mid-write can
+	// never leave a partial CSV), then report the first failure.
+	var firstErr error
+	for idx := range specs {
+		id := specs[idx].ID
 		if errs[idx] != nil {
-			return fmt.Errorf("%s: %w", id, errs[idx])
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", id, errs[idx])
+			}
+			continue
 		}
 		fig := figures[idx]
 		if !*noPlot {
@@ -169,7 +285,7 @@ func run(args []string, out *os.File) error {
 		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, id+".csv")
-			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+			if err := atomicio.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
 				return fmt.Errorf("write %s: %w", path, err)
 			}
 			fmt.Fprintf(out, "wrote %s\n", path)
@@ -179,7 +295,7 @@ func run(args []string, out *os.File) error {
 					return err
 				}
 				jpath := filepath.Join(*outDir, id+".json")
-				if err := os.WriteFile(jpath, data, 0o644); err != nil {
+				if err := atomicio.WriteFile(jpath, data, 0o644); err != nil {
 					return fmt.Errorf("write %s: %w", jpath, err)
 				}
 				fmt.Fprintf(out, "wrote %s\n", jpath)
@@ -192,9 +308,36 @@ func run(args []string, out *os.File) error {
 		SecurityRuns int      `json:"securityRuns"`
 		TraceRuns    int      `json:"traceRuns"`
 		Parallel     int      `json:"parallel"`
+		Checkpoint   string   `json:"checkpoint,omitempty"`
+		Resume       bool     `json:"resume,omitempty"`
 	}
-	return obsRun.Finish(manifestConfig{
-		Figures: selected, Runs: opt.Runs, SecurityRuns: opt.SecurityRuns,
+	ids := make([]string, len(specs))
+	for i := range specs {
+		ids[i] = specs[i].ID
+	}
+	// The manifest is written even on interrupted or quarantined runs —
+	// it is the audit record of what happened.
+	finishErr := obsRun.Finish(manifestConfig{
+		Figures: ids, Runs: opt.Runs, SecurityRuns: opt.SecurityRuns,
 		TraceRuns: opt.TraceRuns, Parallel: *parallel,
+		Checkpoint: *ckptDir, Resume: *resume,
 	}, opt.Seed, opt.Workers, opt.FaultRate)
+	if firstErr != nil {
+		if errors.Is(firstErr, runner.ErrInterrupted) && *ckptDir != "" {
+			return fmt.Errorf("%w; rerun with -resume to continue", firstErr)
+		}
+		return firstErr
+	}
+	return finishErr
+}
+
+// firstLine truncates multi-line error text (panic stacks) for the
+// manifest's one-line detail field.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// execArgsEnv re-execs the test binary as the figures CLI: when set,
+// TestMain runs run() with the JSON-decoded args instead of the tests.
+// This is how the kill/resume suite gets a real process to SIGKILL.
+const execArgsEnv = "FIGURES_EXEC_ARGS"
+
+func TestMain(m *testing.M) {
+	if argsJSON := os.Getenv(execArgsEnv); argsJSON != "" {
+		var args []string
+		if err := json.Unmarshal([]byte(argsJSON), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+		if err := run(args, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// figuresCmd builds an exec.Cmd that re-runs this test binary as the
+// figures CLI with the given arguments.
+func figuresCmd(t *testing.T, args []string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	argsJSON, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), execArgsEnv+"="+string(argsJSON))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	return cmd, &stderr
+}
+
+// tmpDroppings lists atomic-write temp files left in dir — there must
+// never be any, whatever happened to the process.
+func tmpDroppings(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestKillResumeByteIdentical is the crash-safety acceptance test: a
+// figures run SIGKILLed at a seeded random point and resumed from its
+// checkpoint produces artifacts byte-identical to an uninterrupted run,
+// across seeds and worker counts (resume may happen at a different
+// -workers value than the interrupted run used).
+func TestKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills subprocesses")
+	}
+	var midRunKills int64
+	for _, seed := range []uint64{1, 42} {
+		for _, workers := range []int{1, 4} {
+			seed, workers := seed, workers
+			t.Run(fmt.Sprintf("seed%d-workers%d", seed, workers), func(t *testing.T) {
+				t.Parallel()
+				base := []string{
+					"-fig", "fig06", "-no-plot", "-json",
+					"-runs", "40", "-security-runs", "4000", "-trace-runs", "5",
+					"-seed", fmt.Sprint(seed), "-workers", fmt.Sprint(workers),
+				}
+				goldenDir := t.TempDir()
+				if err := run(append([]string{"-out", goldenDir}, base...), os.Stdout); err != nil {
+					t.Fatal(err)
+				}
+				goldenCSV, err := os.ReadFile(filepath.Join(goldenDir, "fig06.csv"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				goldenJSON, err := os.ReadFile(filepath.Join(goldenDir, "fig06.json"))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				outDir, ckptDir := t.TempDir(), t.TempDir()
+				args := append([]string{"-out", outDir, "-checkpoint", ckptDir}, base...)
+				// Seeded random kill point somewhere inside the run.
+				rnd := rand.New(rand.NewSource(int64(seed)*31 + int64(workers)))
+				delay := 150*time.Millisecond + time.Duration(rnd.Int63n(int64(600*time.Millisecond)))
+				victim, _ := figuresCmd(t, args)
+				if err := victim.Start(); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(delay)
+				_ = victim.Process.Kill() // SIGKILL: no cleanup runs
+				if err := victim.Wait(); err != nil {
+					atomic.AddInt64(&midRunKills, 1)
+				} else {
+					t.Logf("run finished in under %v; resume will replay a complete checkpoint", delay)
+				}
+				if left := tmpDroppings(t, outDir); len(left) != 0 {
+					t.Fatalf("SIGKILL left temp artifacts: %v", left)
+				}
+
+				// Resume at a different worker count than the victim ran.
+				resumeArgs := append([]string(nil), args...)
+				for i, a := range resumeArgs {
+					if a == "-workers" {
+						resumeArgs[i+1] = fmt.Sprint(workers%4 + 1)
+					}
+				}
+				resume, stderr := figuresCmd(t, append(resumeArgs, "-resume"))
+				if err := resume.Run(); err != nil {
+					t.Fatalf("resume failed: %v\n%s", err, stderr.String())
+				}
+				if strings.Contains(stderr.String(), "resumed") {
+					t.Logf("resume loaded checkpointed trials (%s)", strings.TrimSpace(stderr.String()))
+				}
+
+				gotCSV, err := os.ReadFile(filepath.Join(outDir, "fig06.csv"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotCSV, goldenCSV) {
+					t.Errorf("resumed CSV differs from uninterrupted golden (%d vs %d bytes)", len(gotCSV), len(goldenCSV))
+				}
+				gotJSON, err := os.ReadFile(filepath.Join(outDir, "fig06.json"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotJSON, goldenJSON) {
+					t.Errorf("resumed JSON differs from uninterrupted golden (%d vs %d bytes)", len(gotJSON), len(goldenJSON))
+				}
+				if left := tmpDroppings(t, outDir); len(left) != 0 {
+					t.Fatalf("resume left temp artifacts: %v", left)
+				}
+			})
+		}
+	}
+	t.Cleanup(func() {
+		if !t.Failed() && atomic.LoadInt64(&midRunKills) == 0 {
+			t.Error("no subprocess was killed mid-run; the kill window no longer overlaps the run — retune the delays")
+		}
+	})
+}
+
+// TestCSVWriteFailureLeavesNoPartial pins satellite (b): when the CSV
+// write fails mid-run (here: a directory squats on the target path),
+// the command errors out without leaving partial or temp files.
+func TestCSVWriteFailureLeavesNoPartial(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "fig04.csv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-fig", "fig04", "-out", dir, "-no-plot",
+		"-runs", "10", "-security-runs", "30", "-trace-runs", "5",
+	}, os.Stdout)
+	if err == nil {
+		t.Fatal("run succeeded with an unwritable CSV path")
+	}
+	if left := tmpDroppings(t, dir); len(left) != 0 {
+		t.Fatalf("failed write left temp artifacts: %v", left)
+	}
+}
+
+// TestResumeRequiresCheckpoint pins the flag contract: -resume without
+// -checkpoint is a loud error, not a silent fresh run.
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	err := run([]string{"-fig", "fig04", "-no-plot", "-resume"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("err = %v, want a -checkpoint requirement", err)
+	}
+}
+
+// TestForeignCheckpointRefused pins loud key rejection end to end: a
+// checkpoint recorded at one seed must refuse to resume another.
+func TestForeignCheckpointRefused(t *testing.T) {
+	ckptDir := t.TempDir()
+	base := []string{
+		"-fig", "fig04", "-no-plot", "-checkpoint", ckptDir,
+		"-runs", "10", "-security-runs", "30", "-trace-runs", "5",
+	}
+	if err := run(append(base, "-seed", "1"), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(base, "-seed", "2", "-resume"), os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("err = %v, want checkpoint key mismatch", err)
+	}
+}
+
+// TestQuarantineLandsInManifest pins the acceptance criterion end to
+// end: a spec whose trial panics exits nonzero naming the trial, while
+// the manifest records the quarantine event and still validates.
+func TestQuarantineLandsInManifest(t *testing.T) {
+	scenario.RegisterCustom("test-figures-panic", func(e *scenario.Engine, s *scenario.Scenario) ([]stats.Series, []string, error) {
+		_, err := scenario.Trials(e, s.ID+"/boom", 6, func(i int) (float64, error) {
+			if i == 3 {
+				panic("injected figure panic")
+			}
+			return float64(i), nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return []stats.Series{{Name: "x", X: []float64{0}, Y: []float64{0}, CI: []float64{0}}}, nil, nil
+	})
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"id": "panic-e2e", "title": "t", "xLabel": "x", "yLabel": "y",
+		"measure": {"kind": "custom", "custom": "test-figures-panic"}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "manifest.json")
+	err := run([]string{"-scenario", spec, "-no-plot", "-manifest", manifest}, os.Stdout)
+	if err == nil {
+		t.Fatal("panicking trial did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "trial 3") || !strings.Contains(err.Error(), "panic-e2e/boom") {
+		t.Fatalf("error does not identify the trial: %v", err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest missing after quarantine: %v", err)
+	}
+	m, err := obs.ValidateManifestBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, ev := range m.Events {
+		if ev.Kind == obs.EventTrialQuarantined && ev.Batch == "panic-e2e/boom" && ev.Trial == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manifest events lack the quarantine: %+v", m.Events)
+	}
+}

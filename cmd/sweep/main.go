@@ -14,17 +14,23 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -62,6 +68,9 @@ func run(args []string, out io.Writer) error {
 		runs        = fs.Int("runs", 400, "routed messages per point")
 		seed        = fs.Uint64("seed", 1, "root random seed")
 		workers     = fs.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS); output is identical for any value")
+		ckptDir     = fs.String("checkpoint", "", "directory for the sweep's checkpoint file; completed trials persist across interruptions")
+		resume      = fs.Bool("resume", false, "load completed trials from -checkpoint and run only the remainder")
+		trialTO     = fs.Duration("trial-timeout", 0, "per-trial watchdog: a trial exceeding this is retried once, then quarantined (0 = no watchdog)")
 	)
 	rf := obs.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +93,9 @@ func run(args []string, out io.Writer) error {
 	axisParam, ok := sweepParams[*param]
 	if !ok {
 		return fmt.Errorf("unknown parameter %q (want g, K, L, c, T, or f)", *param)
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
 	obsRun, err := rf.Begin("sweep", args)
 	if err != nil {
@@ -108,8 +120,76 @@ func run(args []string, out io.Writer) error {
 		Seed: *seed, Runs: *runs, SecurityRuns: 1, TraceRuns: 1,
 		Workers: *workers,
 	}
-	fig, err := scenario.NewEngine(opt).Run(&spec)
+
+	// Supervision: SIGINT/SIGTERM drain in-flight trials (flushing the
+	// checkpoint) instead of losing the run.
+	sup := runner.NewSupervisor(*trialTO)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigDone := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sigc:
+			fmt.Fprintf(os.Stderr, "sweep: received %v, draining (completed trials are checkpointed)\n", s)
+			obsRun.RecordEvent(obs.RunEvent{Kind: obs.EventInterrupted, Detail: s.String()})
+			sup.Stop()
+		case <-sigDone:
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigDone)
+	}()
+	eng := scenario.NewEngine(opt)
+	// rs stays a nil interface when no checkpoint is in play; assigning
+	// a nil *checkpoint.Store would make it non-nil and panic downstream.
+	var rs runner.ResultStore
+	if *ckptDir != "" {
+		var store *checkpoint.Store
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("create checkpoint dir: %w", err)
+		}
+		key, err := scenario.RunKey(&spec, opt)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*ckptDir, spec.ID+".ckpt")
+		_, statErr := os.Stat(path)
+		if *resume && statErr == nil {
+			store, err = checkpoint.Resume(path, key)
+			if err != nil {
+				return err
+			}
+			if n := store.Loaded(); n > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: resumed %d completed trials from %s\n", n, path)
+				obsRun.RecordEvent(obs.RunEvent{
+					Kind:   obs.EventResumed,
+					Detail: fmt.Sprintf("%d trials from %s", n, path),
+				})
+			}
+		} else {
+			if *resume {
+				fmt.Fprintf(os.Stderr, "sweep: no checkpoint at %s, starting fresh\n", path)
+			}
+			store, err = checkpoint.Create(path, key)
+			if err != nil {
+				return err
+			}
+		}
+		defer store.Close()
+		rs = store
+	}
+	eng.Supervise(sup, rs)
+	fig, err := eng.Run(&spec)
+	for _, te := range sup.Quarantined() {
+		obsRun.RecordEvent(obs.RunEvent{
+			Kind: obs.EventTrialQuarantined, Detail: te.Error(), Batch: te.Batch, Trial: te.Trial,
+		})
+	}
 	if err != nil {
+		if errors.Is(err, runner.ErrInterrupted) && *ckptDir != "" {
+			return fmt.Errorf("%w; rerun with -resume to continue", err)
+		}
 		return err
 	}
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -81,5 +83,46 @@ func TestSweepRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-param", "g", "-values", "0"}, &buf); err == nil {
 		t.Fatal("accepted invalid group size")
+	}
+}
+
+// TestSweepCheckpointResume pins the crash-safety wiring: a sweep run
+// with -checkpoint can be rerun with -resume (all trials served from
+// the checkpoint) and prints a byte-identical table; -resume without
+// -checkpoint is refused; a foreign checkpoint (different seed) is
+// rejected loudly.
+func TestSweepCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-param", "g", "-values", "1,5", "-n", "30", "-runs", "10",
+		"-checkpoint", dir, "-seed", "1",
+	}
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sweep-g.ckpt")); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	var resumed bytes.Buffer
+	if err := run(append(args, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), resumed.Bytes()) {
+		t.Fatalf("resumed table differs:\n%s\nvs\n%s", resumed.String(), first.String())
+	}
+
+	if err := run([]string{"-param", "g", "-values", "1", "-resume"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("-resume without -checkpoint: err = %v, want flag error", err)
+	}
+	foreign := append(append([]string(nil), args...), "-resume")
+	for i, a := range foreign {
+		if a == "-seed" {
+			foreign[i+1] = "2"
+		}
+	}
+	if err := run(foreign, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("foreign checkpoint: err = %v, want key mismatch", err)
 	}
 }

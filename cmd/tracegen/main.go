@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -76,20 +77,15 @@ func run(args []string, out io.Writer) error {
 			st.Nodes, st.Contacts, st.Duration, st.ActivePairs, st.PairDensity, st.ContactsPerPair)
 	}
 
-	w := out
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *outPath, err)
-		}
-		defer func() {
-			if cerr := f.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}()
-		w = f
+		// Atomic: a killed tracegen never leaves a truncated trace that
+		// a later experiment would silently replay.
+		return atomicio.WriteTo(*outPath, 0o644, func(w io.Writer) error {
+			_, err := tr.WriteTo(w)
+			return err
+		})
 	}
-	if _, err := tr.WriteTo(w); err != nil {
+	if _, err := tr.WriteTo(out); err != nil {
 		return err
 	}
 	return nil

@@ -1,0 +1,123 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// leftovers returns every name in dir other than the expected final
+// artifacts — any temp file a failed write forgot to clean up.
+func leftovers(t *testing.T, dir string, want map[string]bool) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra []string
+	for _, e := range entries {
+		if !want[e.Name()] {
+			extra = append(extra, e.Name())
+		}
+	}
+	return extra
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFile(path, []byte("v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("v2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2\n" {
+		t.Fatalf("content = %q, want v2", data)
+	}
+	if extra := leftovers(t, dir, map[string]bool{"out.csv": true}); len(extra) > 0 {
+		t.Fatalf("temp droppings left behind: %v", extra)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("perm = %v, want 0644", info.Mode().Perm())
+	}
+}
+
+func TestFailedWriteLeavesNoArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	boom := errors.New("mid-write failure")
+	err := WriteTo(path, 0o644, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "partial,row\n"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped mid-write failure", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("artifact exists after failed write: %v", err)
+	}
+	if extra := leftovers(t, dir, nil); len(extra) > 0 {
+		t.Fatalf("temp droppings left behind: %v", extra)
+	}
+}
+
+func TestFailedWritePreservesPreviousArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFile(path, []byte("good\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteTo(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "half")
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "good\n" {
+		t.Fatalf("previous artifact clobbered: %q", data)
+	}
+}
+
+func TestRenameFailureCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	// A directory occupying the destination path makes rename fail after
+	// a fully successful write.
+	path := filepath.Join(dir, "out.csv")
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("data"), 0o644); err == nil {
+		t.Fatal("want rename error")
+	}
+	if extra := leftovers(t, dir, map[string]bool{"out.csv": true}); len(extra) > 0 {
+		t.Fatalf("temp droppings left behind: %v", extra)
+	}
+}
+
+func TestMissingDirectoryFailsWithoutArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "out.csv")
+	if err := WriteFile(path, []byte("data"), 0o644); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("artifact appeared in missing directory")
+	}
+}

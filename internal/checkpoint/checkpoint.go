@@ -1,0 +1,335 @@
+// Package checkpoint persists completed Monte Carlo trial results
+// across process lifetimes, so an interrupted figure/sweep run can
+// resume without recomputing finished work.
+//
+// # File format
+//
+// A checkpoint file is an append-only write-ahead log:
+//
+//	magic   8 bytes  "DTNCKPT\n"
+//	version u32 LE   format version (currently 1)
+//	frame   key frame: gob-encoded Key
+//	frame*  record frames: gob-encoded Record, one per completed trial
+//
+// where every frame is
+//
+//	length  u32 LE   payload byte count
+//	crc     u32 LE   IEEE CRC-32 of the payload
+//	payload length bytes
+//
+// The header (magic, version, key frame) is written atomically via
+// temp-file + rename; record frames are appended with one write(2)
+// each, so a SIGKILL can tear at most the final frame. The reader
+// distinguishes that expected artifact (ErrTruncated — the resume path
+// repairs it by truncating to the last complete frame) from actual
+// corruption (ErrCorrupt: CRC mismatch, undecodable gob, or an
+// impossible frame length), which is always rejected loudly.
+//
+// # Keying
+//
+// The key frame pins (git revision, spec hash, seed). A checkpoint
+// whose key does not match the resuming run is foreign — produced by
+// different code, a different spec, or a different seed — and loading
+// it would silently change results, so Resume rejects it with
+// ErrKeyMismatch instead. The worker count is deliberately absent from
+// the key: trial results are index-labeled (see runner.MapTrials), so
+// a run may resume at any -workers value.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"repro/internal/atomicio"
+)
+
+// Version is the checkpoint file format version. Files written by a
+// different version are rejected with ErrVersion.
+const Version uint32 = 1
+
+var magic = [8]byte{'D', 'T', 'N', 'C', 'K', 'P', 'T', '\n'}
+
+// maxFrame bounds a single frame's payload. A declared length beyond
+// it cannot come from this writer, so the reader classifies it as
+// corruption rather than attempting a giant allocation.
+const maxFrame = 16 << 20
+
+// Typed load failures. Every way a checkpoint can fail to load maps to
+// exactly one of these, so callers (and the fuzz target) can assert
+// that no malformed input ever yields a partial silent load.
+var (
+	// ErrNotCheckpoint: the file does not begin with the magic bytes.
+	ErrNotCheckpoint = errors.New("checkpoint: not a checkpoint file")
+	// ErrVersion: the format version is not the one this code writes.
+	ErrVersion = errors.New("checkpoint: unsupported format version")
+	// ErrKeyMismatch: the stored key names a different (git revision,
+	// spec hash, seed) than the resuming run.
+	ErrKeyMismatch = errors.New("checkpoint: key mismatch (stale or foreign checkpoint)")
+	// ErrCorrupt: a complete frame fails its CRC, declares an
+	// impossible length, or carries undecodable gob.
+	ErrCorrupt = errors.New("checkpoint: corrupt frame")
+	// ErrTruncated: the file ends mid-frame — the expected tear pattern
+	// of a killed writer. Resume repairs it; strict loads reject it.
+	ErrTruncated = errors.New("checkpoint: truncated trailing frame")
+)
+
+// Key identifies the run a checkpoint belongs to. Two runs with equal
+// keys compute identical trial results, so their checkpoints are
+// interchangeable; unequal keys mean resuming would corrupt results.
+type Key struct {
+	GitRevision string // obs.GitRevision() of the writing binary
+	SpecHash    string // hash of the scenario spec + option bits
+	Seed        uint64 // base RNG seed
+}
+
+// Record is one persisted trial result: which batch (scenario series)
+// and trial index it is, plus the runner's gob encoding of the value.
+type Record struct {
+	Batch string
+	Trial int
+	Data  []byte
+}
+
+// Store is an open checkpoint file implementing runner.ResultStore.
+// Lookup serves results loaded at open; Save appends new ones
+// durably. Safe for concurrent use by the runner's workers.
+type Store struct {
+	mu     sync.Mutex
+	f      *os.File
+	loaded map[recordKey][]byte
+}
+
+type recordKey struct {
+	batch string
+	trial int
+}
+
+// Create starts a fresh checkpoint at path for the given key,
+// truncating any existing file there. The header is written atomically
+// so a crash during creation leaves either no file or a valid empty
+// checkpoint.
+func Create(path string, key Key) (*Store, error) {
+	var hdr bytes.Buffer
+	hdr.Write(magic[:])
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], Version)
+	hdr.Write(ver[:])
+	keyFrame, err := encodeFrame(&key)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode key: %w", err)
+	}
+	hdr.Write(keyFrame)
+	if err := atomicio.WriteFile(path, hdr.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open for append: %w", err)
+	}
+	return &Store{f: f, loaded: make(map[recordKey][]byte)}, nil
+}
+
+// Resume opens an existing checkpoint at path, validates it against
+// key, loads every complete record, and prepares the file for further
+// appends. A torn trailing frame (the expected SIGKILL artifact) is
+// repaired by truncating to the last complete frame; every other
+// malformation — wrong magic, wrong version, foreign key, CRC or gob
+// corruption — is rejected with its typed error.
+func Resume(path string, key Key) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	gotKey, records, validEnd, err := decode(data)
+	torn := err != nil
+	if torn && (!errors.Is(err, ErrTruncated) || validEnd == 0) {
+		// Corruption, or a tear inside the header itself (so the key
+		// cannot be validated): reject, never repair.
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("checkpoint: %s: stored key %+v does not match run key %+v: %w",
+			path, gotKey, key, ErrKeyMismatch)
+	}
+	if torn {
+		if err := os.Truncate(path, int64(validEnd)); err != nil {
+			return nil, fmt.Errorf("checkpoint: repair torn tail of %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open for append: %w", err)
+	}
+	loaded := make(map[recordKey][]byte, len(records))
+	for _, r := range records {
+		loaded[recordKey{r.Batch, r.Trial}] = r.Data
+	}
+	return &Store{f: f, loaded: loaded}, nil
+}
+
+// Load strictly decodes the checkpoint at path, returning its key and
+// every record. Unlike Resume it accepts nothing malformed — a torn
+// tail is ErrTruncated. It never modifies the file; tests and tools
+// use it to inspect checkpoints.
+func Load(path string) (Key, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Key{}, nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	key, records, _, derr := decode(data)
+	if derr != nil {
+		return Key{}, nil, derr
+	}
+	return key, records, nil
+}
+
+// Decode parses raw checkpoint bytes. It is exported for the fuzz
+// target; commands use Create/Resume/Load.
+func Decode(data []byte) (Key, []Record, error) {
+	key, records, _, err := decode(data)
+	if err != nil {
+		return Key{}, nil, err
+	}
+	return key, records, nil
+}
+
+// decode parses the full file image. validEnd is the offset of the
+// last byte belonging to a complete frame — the repair point when the
+// error is ErrTruncated.
+func decode(data []byte) (key Key, records []Record, validEnd int, err error) {
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return Key{}, nil, 0, ErrNotCheckpoint
+	}
+	off := len(magic)
+	if len(data) < off+4 {
+		return Key{}, nil, 0, fmt.Errorf("%w: header ends mid-version", ErrTruncated)
+	}
+	if v := binary.LittleEndian.Uint32(data[off:]); v != Version {
+		return Key{}, nil, 0, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	off += 4
+
+	payload, next, err := readFrame(data, off)
+	if err != nil {
+		return Key{}, nil, 0, fmt.Errorf("key frame: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&key); err != nil {
+		return Key{}, nil, 0, fmt.Errorf("%w: key frame gob: %v", ErrCorrupt, err)
+	}
+	off = next
+	validEnd = off
+
+	for off < len(data) {
+		payload, next, ferr := readFrame(data, off)
+		if ferr != nil {
+			// Records decoded so far are intact; report them alongside
+			// the error so Resume can repair a torn tail.
+			return key, records, validEnd, fmt.Errorf("record %d: %w", len(records), ferr)
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return key, records, validEnd, fmt.Errorf("%w: record %d gob: %v", ErrCorrupt, len(records), err)
+		}
+		records = append(records, rec)
+		off = next
+		validEnd = off
+	}
+	return key, records, validEnd, nil
+}
+
+// readFrame parses one frame at off, returning its payload and the
+// offset of the next frame. It distinguishes a frame that runs past
+// the end of the data (ErrTruncated — a torn append) from one whose
+// complete bytes are inconsistent (ErrCorrupt).
+func readFrame(data []byte, off int) (payload []byte, next int, err error) {
+	if off+8 > len(data) {
+		return nil, 0, fmt.Errorf("%w: frame header ends at byte %d", ErrTruncated, len(data))
+	}
+	length := binary.LittleEndian.Uint32(data[off:])
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if length > maxFrame {
+		return nil, 0, fmt.Errorf("%w: frame declares impossible length %d", ErrCorrupt, length)
+	}
+	start := off + 8
+	end := start + int(length)
+	if end > len(data) {
+		return nil, 0, fmt.Errorf("%w: frame payload ends at byte %d", ErrTruncated, len(data))
+	}
+	payload = data[start:end]
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return nil, 0, fmt.Errorf("%w: CRC %08x, frame claims %08x", ErrCorrupt, got, crc)
+	}
+	return payload, end, nil
+}
+
+// encodeFrame gob-encodes v and wraps it in a length+CRC frame.
+func encodeFrame(v any) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, err
+	}
+	if payload.Len() > maxFrame {
+		return nil, fmt.Errorf("frame payload %d bytes exceeds limit %d", payload.Len(), maxFrame)
+	}
+	frame := make([]byte, 8+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[8:], payload.Bytes())
+	return frame, nil
+}
+
+// Lookup implements runner.ResultStore over the records loaded at
+// open time. Results saved during this process's lifetime are not
+// served back — the runner never re-requests a trial it just ran.
+func (s *Store) Lookup(batch string, trial int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.loaded[recordKey{batch, trial}]
+	return data, ok
+}
+
+// Save appends one completed trial result. The frame is assembled in
+// memory and issued as a single write so a kill between Saves tears at
+// most the in-flight frame, never an earlier one.
+func (s *Store) Save(batch string, trial int, data []byte) error {
+	frame, err := encodeFrame(&Record{Batch: batch, Trial: trial, Data: data})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("checkpoint: store is closed")
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: append record: %w", err)
+	}
+	return nil
+}
+
+// Loaded reports how many records were recovered when the store was
+// opened — zero for a fresh checkpoint, the resumed-trial count after
+// Resume.
+func (s *Store) Loaded() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.loaded)
+}
+
+// Close releases the underlying file. Safe to call more than once.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

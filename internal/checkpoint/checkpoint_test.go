@@ -1,0 +1,259 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var testKey = Key{GitRevision: "abc123", SpecHash: "deadbeef", Seed: 42}
+
+// writeSample creates a checkpoint with n records and returns its path.
+func writeSample(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.ckpt")
+	st, err := Create(path, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := st.Save("batch/a", i, []byte{byte(i), 0xFF, byte(i * 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := writeSample(t, 5)
+	key, records, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != testKey {
+		t.Fatalf("key = %+v, want %+v", key, testKey)
+	}
+	if len(records) != 5 {
+		t.Fatalf("got %d records, want 5", len(records))
+	}
+	for i, r := range records {
+		if r.Batch != "batch/a" || r.Trial != i || !bytes.Equal(r.Data, []byte{byte(i), 0xFF, byte(i * 3)}) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestResumeServesLoadedRecords(t *testing.T) {
+	path := writeSample(t, 3)
+	st, err := Resume(path, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Loaded() != 3 {
+		t.Fatalf("Loaded() = %d, want 3", st.Loaded())
+	}
+	data, ok := st.Lookup("batch/a", 1)
+	if !ok || !bytes.Equal(data, []byte{1, 0xFF, 3}) {
+		t.Fatalf("Lookup(1) = %v, %v", data, ok)
+	}
+	if _, ok := st.Lookup("batch/a", 99); ok {
+		t.Fatal("Lookup(99) should miss")
+	}
+	if _, ok := st.Lookup("batch/other", 1); ok {
+		t.Fatal("Lookup of foreign batch should miss")
+	}
+	// Appends after resume extend the same file.
+	if err := st.Save("batch/a", 3, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	_, records, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("after resumed append: %d records, want 4", len(records))
+	}
+}
+
+func TestResumeRejectsForeignKey(t *testing.T) {
+	path := writeSample(t, 2)
+	for name, k := range map[string]Key{
+		"different revision": {GitRevision: "other", SpecHash: testKey.SpecHash, Seed: testKey.Seed},
+		"different spec":     {GitRevision: testKey.GitRevision, SpecHash: "ffff", Seed: testKey.Seed},
+		"different seed":     {GitRevision: testKey.GitRevision, SpecHash: testKey.SpecHash, Seed: 7},
+	} {
+		if _, err := Resume(path, k); !errors.Is(err, ErrKeyMismatch) {
+			t.Errorf("%s: err = %v, want ErrKeyMismatch", name, err)
+		}
+	}
+}
+
+func TestRejectsWrongMagicAndVersion(t *testing.T) {
+	path := writeSample(t, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte("NOTACKPT"), data[8:]...)
+	if _, _, err := Decode(bad); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("wrong magic: err = %v, want ErrNotCheckpoint", err)
+	}
+
+	future := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(future[8:], Version+1)
+	if _, _, err := Decode(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: err = %v, want ErrVersion", err)
+	}
+
+	if _, _, err := Decode([]byte("short")); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("short file: err = %v, want ErrNotCheckpoint", err)
+	}
+}
+
+func TestRejectsCorruptFrames(t *testing.T) {
+	path := writeSample(t, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte near the end: CRC of that record must fail.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-2] ^= 0x40
+	if _, _, err := Decode(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: err = %v, want ErrCorrupt", err)
+	}
+
+	// An impossible declared frame length is corruption, not truncation.
+	huge := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(huge[12:], maxFrame+1)
+	if _, _, err := Decode(huge); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedTailDetectedAndRepaired(t *testing.T) {
+	path := writeSample(t, 4)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final frame: keep all but its last 2 bytes.
+	torn := full[:len(full)-2]
+	if _, _, err := Decode(torn); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn tail: err = %v, want ErrTruncated", err)
+	}
+	tornPath := filepath.Join(t.TempDir(), "torn.ckpt")
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict Load refuses it; Resume repairs and serves the intact 3.
+	if _, _, err := Load(tornPath); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Load of torn file: err = %v, want ErrTruncated", err)
+	}
+	st, err := Resume(tornPath, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loaded() != 3 {
+		t.Fatalf("Loaded() = %d, want 3 intact records", st.Loaded())
+	}
+	// The repaired file appends cleanly and strict-loads afterwards.
+	if err := st.Save("batch/a", 3, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	_, records, err := Load(tornPath)
+	if err != nil {
+		t.Fatalf("strict load after repair: %v", err)
+	}
+	if len(records) != 4 || records[3].Trial != 3 || !bytes.Equal(records[3].Data, []byte{42}) {
+		t.Fatalf("post-repair records = %+v", records)
+	}
+}
+
+func TestResumeRejectsHeaderTear(t *testing.T) {
+	path := writeSample(t, 1)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the key frame: no valid key means no repair.
+	hdrTorn := full[:14]
+	tornPath := filepath.Join(t.TempDir(), "hdr.ckpt")
+	if err := os.WriteFile(tornPath, hdrTorn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(tornPath, testKey); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("header tear: err = %v, want ErrTruncated rejection", err)
+	}
+	// The file must not have been truncated to zero by a "repair".
+	info, err := os.Stat(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != int64(len(hdrTorn)) {
+		t.Fatalf("Resume modified a file it rejected (size %d, want %d)", info.Size(), len(hdrTorn))
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	path := writeSample(t, 5)
+	st, err := Create(path, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	_, records, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("Create left %d old records behind", len(records))
+	}
+}
+
+func TestSaveAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	st, err := Create(path, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := st.Save("b", 0, []byte{1}); err == nil {
+		t.Fatal("Save after Close should fail")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestLastRecordWinsOnDuplicate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.ckpt")
+	st, err := Create(path, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save("b", 0, []byte{1})
+	st.Save("b", 0, []byte{2})
+	st.Close()
+	re, err := Resume(path, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	data, ok := re.Lookup("b", 0)
+	if !ok || !bytes.Equal(data, []byte{2}) {
+		t.Fatalf("Lookup = %v, %v; want the later record", data, ok)
+	}
+}

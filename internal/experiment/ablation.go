@@ -24,7 +24,7 @@ func init() {
 // expectation used as the headline model versus the paper's literal
 // small-c geometric approximation (Eqs. 8-12), against a Monte-Carlo
 // reference.
-func ablationTraceable(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+func ablationTraceable(e *scenario.Engine, s *scenario.Scenario) ([]stats.Series, []string, error) {
 	opt := e.Options()
 	const eta = 4 // K = 3
 	fracs := scenario.CompromisedFractions()
@@ -38,11 +38,11 @@ func ablationTraceable(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series
 		// One index-labeled substream per sample (not one shared stream
 		// per point) so the Monte Carlo column is worker-count
 		// invariant.
-		vals, err := MapTrials(opt.Workers, opt.SecurityRuns, func(i int) (float64, error) {
-			s := root.SplitN("mc", fi*1000003+i)
+		vals, err := scenario.Trials(e, fmt.Sprintf("%s/mc/f%d", s.ID, fi), opt.SecurityRuns, func(i int) (float64, error) {
+			st := root.SplitN("mc", fi*1000003+i)
 			bits := make([]bool, eta)
 			for b := range bits {
-				bits[b] = s.Bernoulli(frac)
+				bits[b] = st.Bernoulli(frac)
 			}
 			return model.TraceableRateOfPath(bits), nil
 		})
@@ -66,7 +66,7 @@ func ablationTraceable(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series
 // single node, so the relay-to-pivot and pivot-to-destination hops are
 // single-pair contact bottlenecks. TPS therefore only wins against
 // long onion paths — short group-aggregated onion paths beat it.
-func ablationTPS(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+func ablationTPS(e *scenario.Engine, sc *scenario.Scenario) ([]stats.Series, []string, error) {
 	opt := e.Options()
 	const n = 100
 	root := rng.New(opt.Seed)
@@ -75,10 +75,10 @@ func ablationTPS(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []st
 	maxT := deadlines[len(deadlines)-1]
 
 	type tpsTrial struct {
-		onion3, onion10, tps obsPoint
-		onionTx, tpsTx       float64
+		Onion3, Onion10, TPS obsPoint
+		OnionTx, TPSTx       float64
 	}
-	trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (tpsTrial, error) {
+	trials, err := scenario.Trials(e, sc.ID+"/tps", opt.Runs, func(i int) (tpsTrial, error) {
 		s := root.SplitN("run", i)
 		src := contact.NodeID(s.IntN(n))
 		dst := contact.NodeID(s.PickOther(n, int(src)))
@@ -110,14 +110,14 @@ func ablationTPS(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []st
 		if err != nil {
 			return tpsTrial{}, err
 		}
-		out.onion3 = obsPoint{or3.Delivered, or3.Time}
-		out.onionTx = float64(or3.Transmissions)
+		out.Onion3 = obsPoint{or3.Delivered, or3.Time}
+		out.OnionTx = float64(or3.Transmissions)
 
 		or10, err := routing.SampleOnion(g, routing.Params{Src: src, Dst: dst, Sets: sets10, Copies: 1}, maxT, s.Split("onion10"))
 		if err != nil {
 			return tpsTrial{}, err
 		}
-		out.onion10 = obsPoint{or10.Delivered, or10.Time}
+		out.Onion10 = obsPoint{or10.Delivered, or10.Time}
 
 		tp, err := routing.NewTPS(routing.TPSParams{
 			Src: src, Dst: dst, Pivot: pivot, Sets: sets3, Threshold: 2,
@@ -127,8 +127,8 @@ func ablationTPS(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []st
 		}
 		sim.RunSynthetic(g, maxT, s.Split("tps"), tp)
 		tr := tp.Result()
-		out.tps = obsPoint{tr.Delivered, tr.Time}
-		out.tpsTx = float64(tr.Transmissions)
+		out.TPS = obsPoint{tr.Delivered, tr.Time}
+		out.TPSTx = float64(tr.Transmissions)
 		return out, nil
 	})
 	if err != nil {
@@ -138,11 +138,11 @@ func ablationTPS(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []st
 	onion3ECDF, onion10ECDF, tpsECDF := stats.NewECDF(), stats.NewECDF(), stats.NewECDF()
 	var onionTx, tpsTx stats.Accumulator
 	for _, tt := range trials {
-		observe(onion3ECDF, tt.onion3.delivered, tt.onion3.t)
-		onionTx.Add(tt.onionTx)
-		observe(onion10ECDF, tt.onion10.delivered, tt.onion10.t)
-		observe(tpsECDF, tt.tps.delivered, tt.tps.t)
-		tpsTx.Add(tt.tpsTx)
+		observe(onion3ECDF, tt.Onion3.Delivered, tt.Onion3.T)
+		onionTx.Add(tt.OnionTx)
+		observe(onion10ECDF, tt.Onion10.Delivered, tt.Onion10.T)
+		observe(tpsECDF, tt.TPS.Delivered, tt.TPS.T)
+		tpsTx.Add(tt.TPSTx)
 	}
 
 	onion3 := stats.Series{Name: "Onion groups (K=3)"}
@@ -160,10 +160,11 @@ func ablationTPS(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []st
 }
 
 // obsPoint is one simulated delivery observation awaiting in-order
-// aggregation into an ECDF.
+// aggregation into an ECDF. Fields are exported so checkpointed trial
+// results gob-encode.
 type obsPoint struct {
-	delivered bool
-	t         float64
+	Delivered bool
+	T         float64
 }
 
 func observe(e *stats.ECDF, delivered bool, t float64) {
@@ -182,13 +183,13 @@ func observe(e *stats.ECDF, delivered bool, t float64) {
 // members, which under heavy-tailed rates confuses 1/E[rate] with
 // E[1/rate]. Sweeping the ICT spread while also plotting a corrected
 // model (last hop averaged instead of summed) separates the two.
-func ablationModelGap(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+func ablationModelGap(e *scenario.Engine, sc *scenario.Scenario) ([]stats.Series, []string, error) {
 	opt := e.Options()
 	spreads := []float64{2, 30, 90, 180, 360, 720}
 	paperS := stats.Series{Name: "Analysis (Eq. 4 as printed)"}
 	corrS := stats.Series{Name: "Analysis (last hop averaged)"}
 	simS := stats.Series{Name: "Simulation"}
-	for _, maxICT := range spreads {
+	for mi, maxICT := range spreads {
 		cfg := core.DefaultConfig()
 		cfg.MaxICT = maxICT
 		cfg.Seed = opt.Seed
@@ -201,10 +202,10 @@ func ablationModelGap(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series,
 		// so every spread is compared at the same relative operating
 		// point.
 		type gapTrial struct {
-			ok, delivered bool
-			paper, corr   float64
+			OK, Delivered bool
+			Paper, Corr   float64
 		}
-		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (gapTrial, error) {
+		trials, err := scenario.Trials(e, fmt.Sprintf("%s/gap/ict%d", sc.ID, mi), opt.Runs, func(i int) (gapTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
 				return gapTrial{}, nil
@@ -230,7 +231,7 @@ func ablationModelGap(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series,
 			if err != nil {
 				return gapTrial{}, err
 			}
-			return gapTrial{ok: true, delivered: res.Delivered, paper: m, corr: mc}, nil
+			return gapTrial{OK: true, Delivered: res.Delivered, Paper: m, Corr: mc}, nil
 		})
 		if err != nil {
 			return nil, nil, err
@@ -238,12 +239,12 @@ func ablationModelGap(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series,
 		var paperAcc, corrAcc stats.Accumulator
 		delivered, total := 0, 0
 		for _, gt := range trials {
-			if !gt.ok {
+			if !gt.OK {
 				continue
 			}
-			paperAcc.Add(gt.paper)
-			corrAcc.Add(gt.corr)
-			if gt.delivered {
+			paperAcc.Add(gt.Paper)
+			corrAcc.Add(gt.Corr)
+			if gt.Delivered {
 				delivered++
 			}
 			total++

@@ -26,7 +26,7 @@ func init() {
 // transmission; on a complete contact graph even direct delivery beats
 // the onion's K+1 serial hops, the starkest view of what the anonymity
 // constraint costs in delay.
-func ablationBaselines(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+func ablationBaselines(e *scenario.Engine, sc *scenario.Scenario) ([]stats.Series, []string, error) {
 	opt := e.Options()
 	const n = 100
 	const copies = 3
@@ -58,10 +58,10 @@ func ablationBaselines(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series
 		"Direct delivery",
 	}
 	type baselineTrial struct {
-		obs [6]obsPoint
-		tx  [6]float64
+		Obs [6]obsPoint
+		Tx  [6]float64
 	}
-	trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (baselineTrial, error) {
+	trials, err := scenario.Trials(e, sc.ID+"/baselines", opt.Runs, func(i int) (baselineTrial, error) {
 		s := root.SplitN("run", i)
 		src := contact.NodeID(s.IntN(n))
 		dst := contact.NodeID(s.PickOther(n, int(src)))
@@ -78,8 +78,8 @@ func ablationBaselines(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series
 			if err != nil {
 				return baselineTrial{}, err
 			}
-			bt.obs[oi] = obsPoint{res.Delivered, res.Time}
-			bt.tx[oi] = float64(res.Transmissions)
+			bt.Obs[oi] = obsPoint{res.Delivered, res.Time}
+			bt.Tx[oi] = float64(res.Transmissions)
 		}
 
 		// Engine-driven baselines share one identical contact stream.
@@ -106,8 +106,8 @@ func ablationBaselines(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series
 		for bi, r := range []routing.BaselineResult{
 			epi.Result(), bin.Result(), pro.Result(), dir.Result(),
 		} {
-			bt.obs[2+bi] = obsPoint{r.Delivered, r.Time}
-			bt.tx[2+bi] = float64(r.Transmissions)
+			bt.Obs[2+bi] = obsPoint{r.Delivered, r.Time}
+			bt.Tx[2+bi] = float64(r.Transmissions)
 		}
 		return bt, nil
 	})
@@ -122,8 +122,8 @@ func ablationBaselines(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series
 	}
 	for _, bt := range trials {
 		for bi := range names {
-			observe(ecdfs[bi], bt.obs[bi].delivered, bt.obs[bi].t)
-			txs[bi].Add(bt.tx[bi])
+			observe(ecdfs[bi], bt.Obs[bi].Delivered, bt.Obs[bi].T)
+			txs[bi].Add(bt.Tx[bi])
 		}
 	}
 

@@ -38,7 +38,7 @@ func init() {
 // The sweep is internal; opt.FaultRate (the knob that applies a single
 // rate to the standard figures) is deliberately ignored here. At rate 0
 // every series reproduces the unfaulted pipeline byte-for-byte.
-func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+func ablationFaults(e *scenario.Engine, sc *scenario.Scenario) ([]stats.Series, []string, error) {
 	opt := e.Options()
 	rates := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
 	const deadline = 600.0 // minutes
@@ -53,9 +53,9 @@ func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, [
 	// Abstract layer: one environment per rate, same seed, so the
 	// contact graph, groups and trial draws pair exactly across rates.
 	type abstractTrial struct {
-		delivered       bool
-		tx              float64
-		ideal, thinnedP float64
+		Delivered       bool
+		Tx              float64
+		Ideal, ThinnedP float64
 	}
 	var idealMean float64
 	var anonVal float64
@@ -67,7 +67,7 @@ func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, [
 		if err != nil {
 			return nil, nil, err
 		}
-		trials, err := MapTrials(opt.Workers, opt.Runs, func(i int) (abstractTrial, error) {
+		trials, err := scenario.Trials(e, fmt.Sprintf("%s/abstract/r%d", sc.ID, ri), opt.Runs, func(i int) (abstractTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
 				return abstractTrial{}, err
@@ -76,11 +76,11 @@ func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, [
 			if err != nil {
 				return abstractTrial{}, err
 			}
-			at := abstractTrial{delivered: res.Delivered, tx: float64(res.Transmissions)}
-			if at.ideal, err = nw.ModelDelivery(trial, deadline); err != nil {
+			at := abstractTrial{Delivered: res.Delivered, Tx: float64(res.Transmissions)}
+			if at.Ideal, err = nw.ModelDelivery(trial, deadline); err != nil {
 				return abstractTrial{}, err
 			}
-			if at.thinnedP, err = nw.ModelDeliveryLossy(trial, deadline); err != nil {
+			if at.ThinnedP, err = nw.ModelDeliveryLossy(trial, deadline); err != nil {
 				return abstractTrial{}, err
 			}
 			return at, nil
@@ -90,14 +90,14 @@ func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, [
 		}
 		var delAcc, txAcc, idealAcc, thinAcc stats.Accumulator
 		for _, at := range trials {
-			if at.delivered {
+			if at.Delivered {
 				delAcc.Add(1)
 			} else {
 				delAcc.Add(0)
 			}
-			txAcc.Add(at.tx)
-			idealAcc.Add(at.ideal)
-			thinAcc.Add(at.thinnedP)
+			txAcc.Add(at.Tx)
+			idealAcc.Add(at.Ideal)
+			thinAcc.Add(at.ThinnedP)
 		}
 		if ri == 0 {
 			// The ideal analysis and the anonymity metric do not depend
@@ -125,10 +125,10 @@ func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, [
 		messages = 20
 	}
 	type runtimeCell struct {
-		rate  float64
-		stats node.Stats
+		Rate  float64
+		Stats node.Stats
 	}
-	cells, err := MapTrials(opt.Workers, len(rates)*rtReps, func(j int) (runtimeCell, error) {
+	cells, err := scenario.Trials(e, sc.ID+"/runtime", len(rates)*rtReps, func(j int) (runtimeCell, error) {
 		rate := rates[j/rtReps]
 		rep := uint64(j % rtReps)
 		nw, err := node.NewNetwork(node.Config{
@@ -154,7 +154,7 @@ func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, [
 		if err != nil {
 			return runtimeCell{}, fmt.Errorf("experiment: faults (rate=%v rep=%d): %w", rate, rep, err)
 		}
-		return runtimeCell{rate: res.DeliveryRate, stats: res.Totals}, nil
+		return runtimeCell{Rate: res.DeliveryRate, Stats: res.Totals}, nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -164,13 +164,13 @@ func ablationFaults(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, [
 		var acc stats.Accumulator
 		for rep := 0; rep < rtReps; rep++ {
 			c := cells[ri*rtReps+rep]
-			acc.Add(c.rate)
-			injected.Truncated += c.stats.Truncated
-			injected.Corrupted += c.stats.Corrupted
-			injected.Retried += c.stats.Retried
-			injected.Duplicates += c.stats.Duplicates
-			injected.Crashes += c.stats.Crashes
-			injected.CrashDropped += c.stats.CrashDropped
+			acc.Add(c.Rate)
+			injected.Truncated += c.Stats.Truncated
+			injected.Corrupted += c.Stats.Corrupted
+			injected.Retried += c.Stats.Retried
+			injected.Duplicates += c.Stats.Duplicates
+			injected.Crashes += c.Stats.Crashes
+			injected.CrashDropped += c.Stats.CrashDropped
 		}
 		runtime.Append(rate, acc.Mean(), acc.CI95())
 	}

@@ -23,12 +23,12 @@ func init() {
 // the spray augmentation (arbitrary relays injecting copies into R_1)
 // dilutes the attack, at the cost of the lower per-message anonymity
 // of Fig. 12.
-func ablationPredecessor(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Series, []string, error) {
+func ablationPredecessor(e *scenario.Engine, sc *scenario.Scenario) ([]stats.Series, []string, error) {
 	opt := e.Options()
 	const frac = 0.2
 	messageCounts := []float64{1, 2, 5, 10, 20, 50, 100}
 	var series []stats.Series
-	for _, tc := range []struct {
+	for ci, tc := range []struct {
 		label  string
 		copies int
 		spray  bool
@@ -58,7 +58,7 @@ func ablationPredecessor(e *scenario.Engine, _ *scenario.Scenario) ([]stats.Seri
 		// Each trial is one independent adversary observing one source's
 		// message stream; trials run concurrently and report whether the
 		// guess was correct at each message-count checkpoint.
-		perTrial, err := MapTrials(opt.Workers, trials, func(trial int) ([]bool, error) {
+		perTrial, err := scenario.Trials(e, fmt.Sprintf("%s/pred/c%d", sc.ID, ci), trials, func(trial int) ([]bool, error) {
 			adv, err := adversary.RandomFraction(cfg.Nodes, frac, nw.Rand("predadv", trial))
 			if err != nil {
 				return nil, err

@@ -1,0 +1,276 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// stoppingStore wraps a checkpoint store and requests a drain after a
+// fixed number of saves — the in-process analogue of hitting Ctrl-C
+// partway through a run.
+type stoppingStore struct {
+	runner.ResultStore
+	sup       *runner.Supervisor
+	stopAfter int
+	saves     int
+}
+
+func (s *stoppingStore) Save(batch string, trial int, data []byte) error {
+	if err := s.ResultStore.Save(batch, trial, data); err != nil {
+		return err
+	}
+	s.saves++
+	if s.saves == s.stopAfter {
+		s.sup.Stop()
+	}
+	return nil
+}
+
+func resumeOptions(seed uint64, workers int) Options {
+	return Options{Seed: seed, Runs: 12, SecurityRuns: 40, TraceRuns: 4, Workers: workers}
+}
+
+// TestResumeByteIdenticalAcrossRegistry is the resume determinism
+// contract over every figure and ablation spec: a run interrupted
+// mid-trial-pool and resumed from its checkpoint — at a different
+// worker count — produces a figure byte-identical to an uninterrupted
+// run. Trial results are index-labeled, so the checkpointed set plus
+// the freshly computed remainder is the same set an uninterrupted run
+// computes, regardless of where the interruption landed.
+func TestResumeByteIdenticalAcrossRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every spec three times")
+	}
+	specs := append(FigureSpecs(), AblationSpecs()...)
+	for i := range specs {
+		spec := specs[i]
+		t.Run(spec.ID, func(t *testing.T) {
+			t.Parallel()
+			opt := resumeOptions(1, 2)
+			golden, err := scenario.NewEngine(opt).Run(&spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenJSON, err := golden.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			key, err := scenario.RunKey(&spec, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), spec.ID+".ckpt")
+			store, err := checkpoint.Create(path, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interrupt partway through, at yet another worker count.
+			iOpt := opt
+			iOpt.Workers = 1
+			sup := runner.NewSupervisor(0)
+			eng := scenario.NewEngine(iOpt)
+			// The smallest batch any spec runs at these options has 4
+			// trials, so stopping after 3 saves always interrupts
+			// mid-batch.
+			eng.Supervise(sup, &stoppingStore{ResultStore: store, sup: sup, stopAfter: 3})
+			if _, err := eng.Run(&spec); !errors.Is(err, runner.ErrInterrupted) {
+				t.Fatalf("interrupted run: err = %v, want ErrInterrupted", err)
+			}
+			store.Close()
+
+			resumed, err := checkpoint.Resume(path, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resumed.Close()
+			if resumed.Loaded() == 0 {
+				t.Fatal("nothing checkpointed before the interruption; test is vacuous")
+			}
+			rOpt := opt
+			rOpt.Workers = 4
+			eng2 := scenario.NewEngine(rOpt)
+			eng2.Supervise(runner.NewSupervisor(0), resumed)
+			fig, err := eng2.Run(&spec)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			resumedJSON, err := fig.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(goldenJSON, resumedJSON) {
+				t.Fatalf("resumed figure differs from uninterrupted golden (%d vs %d bytes)",
+					len(resumedJSON), len(goldenJSON))
+			}
+		})
+	}
+}
+
+// TestSupervisedUninterruptedMatchesPlain pins that merely attaching
+// the supervision layer (no interruption, no checkpoint hits) does not
+// change output: the supervised engine's figure is byte-identical to
+// the plain engine's.
+func TestSupervisedUninterruptedMatchesPlain(t *testing.T) {
+	opt := resumeOptions(42, 2)
+	spec := FigureSpecs()[0]
+	plain, err := scenario.NewEngine(opt).Run(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key, err := scenario.RunKey(&spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.Create(filepath.Join(t.TempDir(), "s.ckpt"), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng := scenario.NewEngine(opt)
+	eng.Supervise(runner.NewSupervisor(0), store)
+	fig, err := eng.Run(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supJSON, err := fig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainJSON, supJSON) {
+		t.Fatal("supervised engine changed output with no interruption")
+	}
+}
+
+// TestRunKeyDiscriminates pins what the checkpoint key must and must
+// not distinguish: seed, spec identity and effort options change the
+// key; the worker count does not (resume at any -workers value).
+func TestRunKeyDiscriminates(t *testing.T) {
+	specs := FigureSpecs()
+	base := resumeOptions(1, 2)
+	k0, err := scenario.RunKey(&specs[0], base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := base
+	w.Workers = 7
+	kw, err := scenario.RunKey(&specs[0], w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 != kw {
+		t.Fatal("worker count changed the checkpoint key; resume would be refused across -workers values")
+	}
+
+	diffs := map[string]Options{}
+	s := base
+	s.Seed = 2
+	diffs["seed"] = s
+	r := base
+	r.Runs++
+	diffs["runs"] = r
+	sr := base
+	sr.SecurityRuns++
+	diffs["security runs"] = sr
+	f := base
+	f.FaultRate = 0.1
+	diffs["fault rate"] = f
+	for name, opt := range diffs {
+		k, err := scenario.RunKey(&specs[0], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == k0 {
+			t.Errorf("%s change left the checkpoint key unchanged", name)
+		}
+	}
+
+	k1, err := scenario.RunKey(&specs[1], base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k0 {
+		t.Fatal("two different specs share a checkpoint key")
+	}
+}
+
+// TestResumeRefusesForeignCheckpoint pins the loud-rejection behavior
+// end to end: a checkpoint written under one seed must not resume a
+// run at another.
+func TestResumeRefusesForeignCheckpoint(t *testing.T) {
+	spec := FigureSpecs()[0]
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	k1, err := scenario.RunKey(&spec, resumeOptions(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.Create(path, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	k2, err := scenario.RunKey(&spec, resumeOptions(42, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Resume(path, k2); !errors.Is(err, checkpoint.ErrKeyMismatch) {
+		t.Fatalf("err = %v, want ErrKeyMismatch", err)
+	}
+}
+
+// TestQuarantineSurfacesThroughEngine pins the end-to-end quarantine
+// path: a spec with a trial that panics yields a QuarantineError
+// naming the batch and trial, the healthy trials still run, and the
+// supervisor records the failure for the manifest.
+func TestQuarantineSurfacesThroughEngine(t *testing.T) {
+	var ran int64
+	scenario.RegisterCustom("test-panicking", func(e *scenario.Engine, s *scenario.Scenario) ([]stats.Series, []string, error) {
+		_, err := scenario.Trials(e, s.ID+"/panicky", 8, func(i int) (float64, error) {
+			atomic.AddInt64(&ran, 1)
+			if i == 4 {
+				panic("injected trial failure")
+			}
+			return float64(i), nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return []stats.Series{{Name: "x", X: []float64{0}, Y: []float64{0}, CI: []float64{0}}}, nil, nil
+	})
+	spec := scenario.Scenario{
+		ID: "quarantine-e2e", Title: "t", XLabel: "x", YLabel: "y",
+		Measure: scenario.Measure{Kind: scenario.KindCustom, Custom: "test-panicking"},
+	}
+	sup := runner.NewSupervisor(0)
+	eng := scenario.NewEngine(resumeOptions(1, 2))
+	eng.Supervise(sup, nil)
+	_, err := eng.Run(&spec)
+	var qe *runner.QuarantineError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v, want *QuarantineError", err)
+	}
+	te := qe.Trials[0]
+	if te.Trial != 4 || te.Batch != "quarantine-e2e/panicky" {
+		t.Fatalf("quarantined = %+v, want trial 4 of quarantine-e2e/panicky", te)
+	}
+	if got := atomic.LoadInt64(&ran); got != 8 {
+		t.Fatalf("%d trials ran, want all 8 despite the panic", got)
+	}
+	if q := sup.Quarantined(); len(q) != 1 {
+		t.Fatalf("supervisor recorded %d quarantines, want 1", len(q))
+	}
+}

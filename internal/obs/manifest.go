@@ -3,12 +3,13 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"os/exec"
 	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"repro/internal/atomicio"
 )
 
 // ManifestVersion identifies the manifest schema. Bump it when a
@@ -41,6 +42,34 @@ type Manifest struct {
 	Histograms        []HistogramSnapshot `json:"histograms,omitempty"`
 	Phases            []PhaseTiming       `json:"phases,omitempty"`
 	WorkerUtilization float64             `json:"workerUtilization,omitempty"`
+
+	// Events record run-supervision incidents — resumed checkpoints,
+	// drain requests, quarantined trials — in occurrence order. Optional:
+	// absent on clean unsupervised runs, so no version bump.
+	Events []RunEvent `json:"events,omitempty"`
+}
+
+// Run-supervision event kinds.
+const (
+	// EventResumed: the run loaded completed trials from a checkpoint.
+	EventResumed = "resumed"
+	// EventInterrupted: a drain (SIGINT/SIGTERM) stopped the run before
+	// every trial completed.
+	EventInterrupted = "interrupted"
+	// EventTrialQuarantined: a panicking or hung trial was isolated;
+	// the remaining trials continued.
+	EventTrialQuarantined = "trial-quarantined"
+)
+
+// RunEvent is one supervision incident.
+type RunEvent struct {
+	Kind string `json:"kind"`
+	// Detail identifies the subject: the checkpoint file for resumed,
+	// the batch and trial index for quarantines.
+	Detail string `json:"detail,omitempty"`
+	// Batch/Trial pinpoint a quarantined trial.
+	Batch string `json:"batch,omitempty"`
+	Trial int    `json:"trial,omitempty"`
 }
 
 // BuildManifest assembles a manifest from a collector snapshot.
@@ -72,7 +101,8 @@ func (m *Manifest) JSON() ([]byte, error) {
 	return append(out, '\n'), nil
 }
 
-// WriteFile validates the manifest and writes it to path.
+// WriteFile validates the manifest and writes it to path atomically,
+// so a killed process never leaves a truncated manifest that parses.
 func (m *Manifest) WriteFile(path string) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -81,7 +111,7 @@ func (m *Manifest) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("obs: write manifest: %w", err)
 	}
 	return nil
@@ -115,6 +145,11 @@ func (m *Manifest) Validate() error {
 	for _, p := range m.Phases {
 		if p.Name == "" || p.Count <= 0 || p.Seconds < 0 {
 			return fmt.Errorf("obs: manifest phase %+v invalid", p)
+		}
+	}
+	for _, ev := range m.Events {
+		if ev.Kind == "" {
+			return fmt.Errorf("obs: manifest event %+v missing kind", ev)
 		}
 	}
 	return nil

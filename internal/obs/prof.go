@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"sync"
 	"time"
 )
 
@@ -144,6 +145,21 @@ type Run struct {
 	startedAt time.Time
 	collector *Collector
 	finished  bool
+
+	mu     sync.Mutex
+	events []RunEvent
+}
+
+// RecordEvent appends a supervision event (resume, interruption,
+// quarantine) to the manifest being assembled. Safe for concurrent
+// use; a no-op when no manifest was requested.
+func (r *Run) RecordEvent(ev RunEvent) {
+	if r == nil || r.collector == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
 }
 
 // Begin starts profiling and, when a manifest was requested, installs
@@ -179,6 +195,9 @@ func (r *Run) Finish(config any, seed uint64, workers int, faultRate float64) er
 	m.Seed = seed
 	m.Workers = workers
 	m.FaultRate = faultRate
+	r.mu.Lock()
+	m.Events = append([]RunEvent(nil), r.events...)
+	r.mu.Unlock()
 	if err := m.WriteFile(r.flags.ManifestPath); err != nil {
 		return err
 	}

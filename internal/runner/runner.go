@@ -5,8 +5,10 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,9 +30,12 @@ import (
 //
 // Error contract: when one or more trials fail, the remaining workers
 // stop claiming new trials promptly and the recorded failure with the
-// lowest trial index is returned, wrapped with that index. Which
-// trials ran before cancellation is scheduling-dependent; the value
-// results are only meaningful when the returned error is nil.
+// lowest trial index is returned, wrapped with that index. A panic
+// inside trial does not take the process down: it is recovered into a
+// *TrialError naming the trial index and carrying the panic value and
+// stack, and reported through the same error path. Which trials ran
+// before cancellation is scheduling-dependent; the value results are
+// only meaningful when the returned error is nil.
 func MapTrials[T any](workers, trials int, trial func(i int) (T, error)) ([]T, error) {
 	if trials <= 0 {
 		return nil, nil
@@ -55,21 +60,34 @@ func MapTrials[T any](workers, trials int, trial func(i int) (T, error)) ([]T, e
 			c.Add(obs.ExpBatchCapacityNanos, wall.Nanoseconds()*int64(workers))
 		}()
 	}
-	run := trial
+	timed := trial
 	if c != nil {
-		run = func(i int) (T, error) {
+		timed = func(i int) (T, error) {
 			start := time.Now()
 			v, err := trial(i)
 			c.Add(obs.ExpTrialBusyNanos, time.Since(start).Nanoseconds())
 			return v, err
 		}
 	}
+	// Panic shield: a panicking trial surfaces as a *TrialError naming
+	// its index instead of tearing down the whole run unattributed.
+	run := func(i int) (v T, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = &TrialError{
+					Trial: i, Attempts: 1,
+					PanicValue: fmt.Sprint(p), Stack: string(debug.Stack()),
+				}
+			}
+		}()
+		return timed(i)
+	}
 	out := make([]T, trials)
 	if workers == 1 {
 		for i := 0; i < trials; i++ {
 			v, err := run(i)
 			if err != nil {
-				return nil, fmt.Errorf("runner: trial %d: %w", i, err)
+				return nil, wrapTrialErr(i, err)
 			}
 			out[i] = v
 		}
@@ -103,11 +121,21 @@ func MapTrials[T any](workers, trials int, trial func(i int) (T, error)) ([]T, e
 	if failed.Load() {
 		for i, err := range errs {
 			if err != nil {
-				return nil, fmt.Errorf("runner: trial %d: %w", i, err)
+				return nil, wrapTrialErr(i, err)
 			}
 		}
 	}
 	return out, nil
+}
+
+// wrapTrialErr prefixes a trial failure with the runner and index. A
+// *TrialError already names its own trial, so it is not double-labeled.
+func wrapTrialErr(i int, err error) error {
+	var te *TrialError
+	if errors.As(err, &te) {
+		return fmt.Errorf("runner: %w", err)
+	}
+	return fmt.Errorf("runner: trial %d: %w", i, err)
 }
 
 // ResolveWorkers clamps a worker count to [1, trials], defaulting

@@ -5,19 +5,19 @@ import (
 	"math"
 
 	"repro/internal/model"
-	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
 // deliveryTrial is the outcome of one routed message: the simulated
 // delivery plus the analytical delivery rate at every deadline. A
-// skipped trial (no eligible group path) contributes nothing.
+// skipped trial (no eligible group path) contributes nothing. Fields
+// are exported so checkpointed results gob-encode.
 type deliveryTrial struct {
-	skipped   bool
-	delivered bool
-	time      float64
-	tx        float64
-	model     []float64 // per deadline; nil when SimOnly
+	Skipped   bool
+	Delivered bool
+	Time      float64
+	Tx        float64
+	Model     []float64 // per deadline; nil when SimOnly
 }
 
 // deliveryCurve runs one simulation series (and, unless SimOnly, one
@@ -44,28 +44,29 @@ func (e *Engine) deliveryCurve(s *Scenario) ([]stats.Series, []string, error) {
 			return nil, nil, fmt.Errorf("scenario: %s: %w", label, err)
 		}
 		simOnly := s.Measure.SimOnly
-		trials, err := runner.MapTrials(opt.Workers, opt.Runs, func(i int) (deliveryTrial, error) {
+		batch := fmt.Sprintf("%s/delivery/s%d", s.ID, si)
+		trials, err := Trials(e, batch, opt.Runs, func(i int) (deliveryTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
-				return deliveryTrial{skipped: true}, nil
+				return deliveryTrial{Skipped: true}, nil
 			}
 			res, err := nw.Route(trial, maxT, s.Measure.RunToCompletion, i)
 			if err != nil {
 				return deliveryTrial{}, fmt.Errorf("%s run %d: %w", label, i, err)
 			}
 			dt := deliveryTrial{
-				delivered: res.Delivered,
-				time:      res.Time,
-				tx:        float64(res.Transmissions),
+				Delivered: res.Delivered,
+				Time:      res.Time,
+				Tx:        float64(res.Transmissions),
 			}
 			if !simOnly {
-				dt.model = make([]float64, len(deadlines))
+				dt.Model = make([]float64, len(deadlines))
 				for d, t := range deadlines {
 					m, err := e.DeliveryRate(trial.Rates, cfg.Copies, t)
 					if err != nil {
 						return deliveryTrial{}, fmt.Errorf("%s model: %w", label, err)
 					}
-					dt.model[d] = m
+					dt.Model[d] = m
 				}
 			}
 			return dt, nil
@@ -78,18 +79,18 @@ func (e *Engine) deliveryCurve(s *Scenario) ([]stats.Series, []string, error) {
 		var tx stats.Accumulator
 		skipped := 0
 		for _, dt := range trials {
-			if dt.skipped {
+			if dt.Skipped {
 				skipped++
 				continue
 			}
-			if dt.delivered {
-				ecdf.Observe(dt.time)
+			if dt.Delivered {
+				ecdf.Observe(dt.Time)
 			} else {
 				ecdf.ObserveCensored()
 			}
-			tx.Add(dt.tx)
-			for d := range dt.model {
-				modelAcc[d].Add(dt.model[d])
+			tx.Add(dt.Tx)
+			for d := range dt.Model {
+				modelAcc[d].Add(dt.Model[d])
 			}
 		}
 		if skipped > 0 && !simOnly {
@@ -134,7 +135,7 @@ func (e *Engine) cost(s *Scenario) ([]stats.Series, []string, error) {
 	nonAnon := stats.Series{Name: "Non-anonymous"}
 	analysis := stats.Series{Name: "Analysis"}
 	simulation := stats.Series{Name: "Simulation"}
-	for _, lv := range s.X.Values {
+	for xi, lv := range s.X.Values {
 		l := int(lv)
 		nonAnon.Append(float64(l), float64(model.CostNonAnonymous(l)), 0)
 		analysis.Append(float64(l), float64(model.CostMultiCopyBound(s.Base.Relays, l)), 0)
@@ -150,10 +151,11 @@ func (e *Engine) cost(s *Scenario) ([]stats.Series, []string, error) {
 			return nil, nil, err
 		}
 		type txTrial struct {
-			ok bool
-			tx float64
+			Ok bool
+			Tx float64
 		}
-		trials, err := runner.MapTrials(opt.Workers, opt.Runs, func(i int) (txTrial, error) {
+		batch := fmt.Sprintf("%s/cost/x%d", s.ID, xi)
+		trials, err := Trials(e, batch, opt.Runs, func(i int) (txTrial, error) {
 			trial, err := nw.NewTrial(i)
 			if err != nil {
 				return txTrial{}, nil
@@ -162,15 +164,15 @@ func (e *Engine) cost(s *Scenario) ([]stats.Series, []string, error) {
 			if err != nil {
 				return txTrial{}, err
 			}
-			return txTrial{ok: true, tx: float64(res.Transmissions)}, nil
+			return txTrial{Ok: true, Tx: float64(res.Transmissions)}, nil
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		var acc stats.Accumulator
 		for _, tt := range trials {
-			if tt.ok {
-				acc.Add(tt.tx)
+			if tt.Ok {
+				acc.Add(tt.Tx)
 			}
 		}
 		simulation.Append(float64(l), acc.Mean(), acc.CI95())

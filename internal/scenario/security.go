@@ -1,11 +1,12 @@
 package scenario
 
 import (
+	"fmt"
+
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/rng"
-	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -18,10 +19,10 @@ func securityMetric(kind string, o core.SecurityOutcome) float64 {
 }
 
 // securityPoint measures one fast-mode security point. Samples are
-// drawn concurrently on workers workers and accumulated in trial
+// drawn concurrently on opt.Workers workers and accumulated in trial
 // order.
-func securityPoint(nw *core.Network, frac float64, runs, workers, salt int, metric func(core.SecurityOutcome) float64) (stats.Summary, error) {
-	vals, err := runner.MapTrials(workers, runs, func(i int) (float64, error) {
+func (e *Engine) securityPoint(nw *core.Network, frac float64, runs, salt int, batch string, metric func(core.SecurityOutcome) float64) (stats.Summary, error) {
+	vals, err := Trials(e, batch, runs, func(i int) (float64, error) {
 		out, err := nw.FastSecurityTrial(frac, salt*1000003+i)
 		if err != nil {
 			return 0, err
@@ -82,7 +83,8 @@ func (e *Engine) securitySweep(s *Scenario) ([]stats.Series, []string, error) {
 			}
 			analysis.Append(xv, modelVal, 0)
 			salt := s.Series.saltKey(si, false)*s.Measure.SeriesSaltStride + s.X.saltKey(xi, true)
-			sum, err := securityPoint(nw, frac, opt.SecurityRuns, opt.Workers, salt,
+			batch := fmt.Sprintf("%s/security/s%d/x%d", s.ID, si, xi)
+			sum, err := e.securityPoint(nw, frac, opt.SecurityRuns, salt, batch,
 				func(o core.SecurityOutcome) float64 { return securityMetric(s.Measure.Kind, o) })
 			if err != nil {
 				return nil, nil, err
@@ -122,7 +124,8 @@ func (e *Engine) traceSecurity(s *Scenario) ([]stats.Series, []string, error) {
 		root := rng.New(opt.Seed + uint64(l))
 		simulation := stats.Series{Name: "Simulation: " + label}
 		for fi, frac := range fracs {
-			vals, err := runner.MapTrials(opt.Workers, opt.SecurityRuns, func(i int) (float64, error) {
+			batch := fmt.Sprintf("%s/tracesec/s%d/x%d", s.ID, si, fi)
+			vals, err := Trials(e, batch, opt.SecurityRuns, func(i int) (float64, error) {
 				st := root.SplitN("trial", fi*1000000+i)
 				adv, err := adversary.RandomFraction(n, frac, st.Split("adv"))
 				if err != nil {

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Supervise attaches a supervisor (panic quarantine, watchdog, drain)
+// and an optional per-run result store (checkpoint/resume) to the
+// engine. Every Monte Carlo batch the engine runs from then on goes
+// through runner.Supervised under stable batch labels. Call before
+// Run; an engine with neither attached runs on the plain MapTrials
+// hot path, byte-identical to previous releases.
+func (e *Engine) Supervise(sup *runner.Supervisor, store runner.ResultStore) {
+	e.sup = sup
+	e.store = store
+}
+
+// Trials routes one of the engine's Monte Carlo batches through the
+// trial pool. batch must be a stable label — derived from the scenario
+// ID and axis indices, never from map order or timing — because it
+// keys checkpointed results across process lifetimes.
+func Trials[T any](e *Engine, batch string, trials int, fn func(i int) (T, error)) ([]T, error) {
+	return runner.Supervised(e.sup, e.store, batch, e.opt.Workers, trials, fn)
+}
+
+// RunKey derives the checkpoint identity of running spec s at options
+// opt: the git revision of this binary, a hash of the spec plus every
+// option bit that influences trial results, and the seed. Workers is
+// deliberately excluded — trial results are index-labeled, so a run
+// may resume at any -workers value.
+func RunKey(s *Scenario, opt Options) (checkpoint.Key, error) {
+	spec, err := json.Marshal(s)
+	if err != nil {
+		return checkpoint.Key{}, fmt.Errorf("scenario: hash spec %s: %w", s.ID, err)
+	}
+	h := sha256.New()
+	h.Write(spec)
+	var b [8]byte
+	for _, v := range []uint64{
+		uint64(opt.Runs), uint64(opt.SecurityRuns), uint64(opt.TraceRuns),
+		math.Float64bits(opt.FaultRate),
+	} {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	return checkpoint.Key{
+		GitRevision: obs.GitRevision(),
+		SpecHash:    hex.EncodeToString(h.Sum(nil)),
+		Seed:        opt.Seed,
+	}, nil
+}

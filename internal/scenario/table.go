@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -48,7 +47,7 @@ func (e *Engine) table(s *Scenario) ([]stats.Series, []string, error) {
 				return nil, nil, err
 			}
 		}
-		row, err := e.tablePoint(cfg, dl, frac)
+		row, err := e.tablePoint(cfg, dl, frac, fmt.Sprintf("%s/table/x%d", s.ID, xi))
 		endPhase()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s=%v: %w", axisName, v, err)
@@ -62,7 +61,7 @@ func (e *Engine) table(s *Scenario) ([]stats.Series, []string, error) {
 
 // tablePoint measures one sweep row, returning values in tableSeries
 // order.
-func (e *Engine) tablePoint(cfg core.Config, deadline, frac float64) ([7]float64, error) {
+func (e *Engine) tablePoint(cfg core.Config, deadline, frac float64, batch string) ([7]float64, error) {
 	opt := e.opt
 	var row [7]float64
 	nw, err := e.network(cfg)
@@ -72,10 +71,10 @@ func (e *Engine) tablePoint(cfg core.Config, deadline, frac float64) ([7]float64
 	row[4] = e.TraceableRate(cfg.Relays+1, frac)
 	row[6] = nw.ModelPathAnonymity(frac)
 	type trialOut struct {
-		delivered              bool
-		model, tx, trace, anon float64
+		Delivered              bool
+		Model, Tx, Trace, Anon float64
 	}
-	trials, err := runner.MapTrials(opt.Workers, opt.Runs, func(i int) (trialOut, error) {
+	trials, err := Trials(e, batch, opt.Runs, func(i int) (trialOut, error) {
 		trial, err := nw.NewTrial(i)
 		if err != nil {
 			return trialOut{}, err
@@ -95,11 +94,11 @@ func (e *Engine) tablePoint(cfg core.Config, deadline, frac float64) ([7]float64
 			return trialOut{}, err
 		}
 		return trialOut{
-			delivered: res.Delivered,
-			model:     m,
-			tx:        float64(res.Transmissions),
-			trace:     sec.TraceableRate,
-			anon:      sec.PathAnonymity,
+			Delivered: res.Delivered,
+			Model:     m,
+			Tx:        float64(res.Transmissions),
+			Trace:     sec.TraceableRate,
+			Anon:      sec.PathAnonymity,
 		}, nil
 	})
 	if err != nil {
@@ -108,13 +107,13 @@ func (e *Engine) tablePoint(cfg core.Config, deadline, frac float64) ([7]float64
 	var delivered int
 	var model, tx, tr, an stats.Accumulator
 	for _, to := range trials {
-		if to.delivered {
+		if to.Delivered {
 			delivered++
 		}
-		model.Add(to.model)
-		tx.Add(to.tx)
-		tr.Add(to.trace)
-		an.Add(to.anon)
+		model.Add(to.Model)
+		tx.Add(to.Tx)
+		tr.Add(to.Trace)
+		an.Add(to.Anon)
 	}
 	row[0] = float64(delivered) / float64(opt.Runs)
 	row[1] = model.Mean()

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rng"
-	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -40,14 +39,14 @@ func (e *Engine) traceNetwork(name string) (*core.TraceNetwork, error) {
 }
 
 // traceTrialOutcome is one replayed trace message: the simulated delay
-// plus the analytical delivery rate per deadline (modelOK is false
+// plus the analytical delivery rate per deadline (ModelOK is false
 // where the fitted path had a zero-rate hop and the model could not be
-// evaluated).
+// evaluated). Fields are exported so checkpointed results gob-encode.
 type traceTrialOutcome struct {
-	delivered bool
-	delay     float64
-	model     []float64
-	modelOK   []bool
+	Delivered bool
+	Delay     float64
+	Model     []float64
+	ModelOK   []bool
 }
 
 // traceReplay builds one Analysis + Simulation pair per copy count by
@@ -66,7 +65,8 @@ func (e *Engine) traceReplay(s *Scenario) ([]stats.Series, []string, error) {
 	var notes []string
 	for si := range s.Series.Values {
 		l := int(s.Series.Values[si])
-		trials, err := runner.MapTrials(opt.Workers, opt.TraceRuns, func(i int) (traceTrialOutcome, error) {
+		batch := fmt.Sprintf("%s/replay/s%d", s.ID, si)
+		trials, err := Trials(e, batch, opt.TraceRuns, func(i int) (traceTrialOutcome, error) {
 			trial, err := tn.NewTrial(l*1000000+i, g, relays)
 			if err != nil {
 				return traceTrialOutcome{}, err
@@ -76,10 +76,10 @@ func (e *Engine) traceReplay(s *Scenario) ([]stats.Series, []string, error) {
 				return traceTrialOutcome{}, err
 			}
 			out := traceTrialOutcome{
-				delivered: res.Delivered,
-				delay:     res.Time - trial.Start,
-				model:     make([]float64, len(deadlines)),
-				modelOK:   make([]bool, len(deadlines)),
+				Delivered: res.Delivered,
+				Delay:     res.Time - trial.Start,
+				Model:     make([]float64, len(deadlines)),
+				ModelOK:   make([]bool, len(deadlines)),
 			}
 			for d, t := range deadlines {
 				if trial.Rates == nil {
@@ -89,7 +89,7 @@ func (e *Engine) traceReplay(s *Scenario) ([]stats.Series, []string, error) {
 				if err != nil {
 					return traceTrialOutcome{}, err
 				}
-				out.model[d], out.modelOK[d] = m, true
+				out.Model[d], out.ModelOK[d] = m, true
 			}
 			return out, nil
 		})
@@ -100,19 +100,19 @@ func (e *Engine) traceReplay(s *Scenario) ([]stats.Series, []string, error) {
 		modelAcc := make([]stats.Accumulator, len(deadlines))
 		modelSkipped := 0
 		for _, tt := range trials {
-			if tt.delivered {
-				ecdf.Observe(tt.delay)
+			if tt.Delivered {
+				ecdf.Observe(tt.Delay)
 			} else {
 				ecdf.ObserveCensored()
 			}
 			for d := range deadlines {
-				if !tt.modelOK[d] {
+				if !tt.ModelOK[d] {
 					if d == 0 {
 						modelSkipped++
 					}
 					continue
 				}
-				modelAcc[d].Add(tt.model[d])
+				modelAcc[d].Add(tt.Model[d])
 			}
 		}
 		if modelSkipped > 0 {
