@@ -7,6 +7,7 @@
 //	tracegen -preset cambridge -o cambridge.trace
 //	tracegen -preset infocom -stats
 //	tracegen -nodes 25 -days 3 -mean-ict 200 -o custom.trace
+//	tracegen -city -nodes 10000 -o city.trace -stats
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/rng"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -44,9 +46,37 @@ func run(args []string, out io.Writer) error {
 		meanICT  = fs.Float64("mean-ict", 300, "per-pair mean inter-contact time during sessions, seconds")
 		dur      = fs.Float64("contact-sec", 60, "mean contact duration, seconds")
 		pairProb = fs.Float64("pair-prob", 1, "probability a pair ever meets")
+
+		city      = fs.Bool("city", false, "generate a city-scale PPP mobility trace (uses -nodes, -seed, -contact-sec)")
+		cityWidth = fs.Float64("city-width", 0, "torus side, meters (default: sized for constant density)")
+		cityRange = fs.Float64("city-range", 100, "radio range, meters")
+		cityICT   = fs.Float64("city-ict", 3600, "mean inter-contact time at zero distance, seconds")
+		horizon   = fs.Float64("horizon", 86400, "city trace span, seconds")
+		workers   = fs.Int("workers", 0, "city generation workers (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *city {
+		if *preset != "" {
+			return fmt.Errorf("-city and -preset are mutually exclusive")
+		}
+		spec := workload.DefaultCitySpec(*nodes)
+		spec.Seed = *seed
+		spec.Range = *cityRange
+		spec.MeanICT = *cityICT
+		spec.ContactSec = *dur
+		spec.Horizon = *horizon
+		spec.Workers = *workers
+		if *cityWidth > 0 {
+			spec.Width = *cityWidth
+		}
+		tr, err := workload.CityScale(spec)
+		if err != nil {
+			return err
+		}
+		return emit(tr, *outPath, *statsFlg, out)
 	}
 
 	var cfg trace.DiurnalConfig
@@ -70,17 +100,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *statsFlg {
+	return emit(tr, *outPath, *statsFlg, out)
+}
+
+func emit(tr *trace.Trace, outPath string, stats bool, out io.Writer) error {
+	if stats {
 		st := tr.Summarize()
 		fmt.Fprintf(os.Stderr,
 			"nodes=%d contacts=%d duration=%.0fs active-pairs=%d density=%.2f contacts/pair=%.1f\n",
 			st.Nodes, st.Contacts, st.Duration, st.ActivePairs, st.PairDensity, st.ContactsPerPair)
 	}
-
-	if *outPath != "" {
+	if outPath != "" {
 		// Atomic: a killed tracegen never leaves a truncated trace that
 		// a later experiment would silently replay.
-		return atomicio.WriteTo(*outPath, 0o644, func(w io.Writer) error {
+		return atomicio.WriteTo(outPath, 0o644, func(w io.Writer) error {
 			_, err := tr.WriteTo(w)
 			return err
 		})

@@ -87,3 +87,74 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		t.Fatal("same seed produced different trace files")
 	}
 }
+
+func TestCityMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "city.trace")
+	err := run([]string{
+		"-city", "-nodes", "300", "-seed", "5", "-horizon", "7200", "-o", path,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ParseReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ParseReader compacts IDs to the nodes that actually appear, so the
+	// count can only be <= the population.
+	if tr.NodeCount > 300 || tr.NodeCount < 100 {
+		t.Fatalf("city trace covers %d nodes, want most of 300", tr.NodeCount)
+	}
+	if len(tr.Contacts) == 0 {
+		t.Fatal("city trace has no contacts")
+	}
+	if tr.Duration() > 7200 {
+		t.Fatalf("duration %v exceeds horizon", tr.Duration())
+	}
+}
+
+func TestCityModeWorkerInvariant(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "w1"), filepath.Join(dir, "w4")
+	for p, w := range map[string]string{a: "1", b: "4"} {
+		err := run([]string{
+			"-city", "-nodes", "200", "-seed", "9", "-horizon", "3600",
+			"-workers", w, "-o", p,
+		}, os.Stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatal("city trace differs across worker counts")
+	}
+}
+
+func TestCityModeRejectsPreset(t *testing.T) {
+	if err := run([]string{"-city", "-preset", "infocom"}, os.Stdout); err == nil {
+		t.Fatal("accepted -city together with -preset")
+	}
+}
+
+func TestCityModeRejectsBadSpec(t *testing.T) {
+	if err := run([]string{"-city", "-nodes", "1"}, os.Stdout); err == nil {
+		t.Fatal("accepted single-node city")
+	}
+	if err := run([]string{"-city", "-nodes", "100", "-horizon", "0"}, os.Stdout); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+}

@@ -3,10 +3,25 @@
 // exponential inter-contact process with rate lambda_{i,j}. The package
 // also computes the group-aggregated per-hop rates lambda_k of Eq. 4
 // that drive the opportunistic onion path model.
+//
+// Two storage backends realize the same Graph semantics:
+//
+//   - dense: a row-major n x n float64 matrix, used up to
+//     DefaultDenseNodeLimit nodes (the paper's 12-100-node scale);
+//   - sparse: per-node neighbor lists sorted by peer ID (CSR-style),
+//     used above the limit so city-scale populations (10^4-10^6 nodes)
+//     never materialize an O(N^2) matrix.
+//
+// The backend is an internal detail: every accessor (Rate, Pairs,
+// TotalRate, GroupPathRates, ...) performs identical floating-point
+// operations in identical order on both, so results are bit-identical
+// (enforced by the sparse/dense differential suite).
 package contact
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -14,21 +29,80 @@ import (
 // NodeID identifies a node in the contact graph, in [0, N).
 type NodeID int
 
-// Graph is a symmetric contact-rate matrix over n nodes. The rate of
-// the (i, j) pair is the inverse of the mean inter-contact time; a rate
-// of zero means the pair never meets.
-type Graph struct {
-	n     int
-	rates []float64 // row-major n x n, symmetric, zero diagonal
+const (
+	// DefaultDenseNodeLimit is the population size above which a new
+	// graph uses the sparse adjacency backend instead of the dense
+	// n x n matrix. At the limit the dense matrix is 8 MB; one step
+	// beyond in the dense world would grow quadratically.
+	DefaultDenseNodeLimit = 1024
+
+	// MaxNodes bounds graph populations. Even the sparse backend
+	// allocates one neighbor-list header per node, so an absurd node
+	// count (e.g. from a corrupt graph file header) must be rejected
+	// before allocation, not OOM-killed after.
+	MaxNodes = 1 << 24
+)
+
+// denseNodeLimit is the active switchover threshold. Atomic so the
+// test hook can flip it while worker pools are running elsewhere.
+var denseNodeLimit atomic.Int64
+
+func init() { denseNodeLimit.Store(DefaultDenseNodeLimit) }
+
+// SetDenseNodeLimit overrides the dense/sparse switchover threshold
+// and returns a function restoring the previous value. A limit of 0
+// forces every new graph onto the sparse backend. This is a test hook
+// for the sparse/dense equivalence suites; production code should
+// leave the default in place.
+func SetDenseNodeLimit(n int) (restore func()) {
+	prev := denseNodeLimit.Swap(int64(n))
+	return func() { denseNodeLimit.Store(prev) }
 }
 
-// NewGraph returns a graph with n nodes and no contacts. It panics if
-// n <= 0.
-func NewGraph(n int) *Graph {
+// edge is one sparse adjacency entry: the peer and the pair rate.
+type edge struct {
+	to   NodeID
+	rate float64
+}
+
+// Graph is a symmetric contact-rate structure over n nodes. The rate
+// of the (i, j) pair is the inverse of the mean inter-contact time; a
+// rate of zero means the pair never meets. Exactly one of dense/adj is
+// non-nil.
+type Graph struct {
+	n     int
+	dense []float64 // row-major n x n, symmetric, zero diagonal
+	adj   [][]edge  // per-node neighbor lists, sorted ascending by to
+}
+
+// New returns a graph with n nodes and no contacts, choosing the
+// storage backend by population size. It returns an error for
+// non-positive n or n beyond MaxNodes — large n must not silently
+// overflow the dense n*n allocation or exhaust memory.
+func New(n int) (*Graph, error) {
 	if n <= 0 {
-		panic("contact: graph needs at least one node")
+		return nil, fmt.Errorf("contact: graph needs at least one node, got %d", n)
 	}
-	return &Graph{n: n, rates: make([]float64, n*n)}
+	if n > MaxNodes {
+		return nil, fmt.Errorf("contact: %d nodes exceeds the supported maximum %d", n, MaxNodes)
+	}
+	g := &Graph{n: n}
+	if int64(n) <= denseNodeLimit.Load() {
+		g.dense = make([]float64, n*n)
+	} else {
+		g.adj = make([][]edge, n)
+	}
+	return g, nil
+}
+
+// NewGraph returns a graph with n nodes and no contacts. It panics on
+// invalid n; use New to handle untrusted node counts gracefully.
+func NewGraph(n int) *Graph {
+	g, err := New(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return g
 }
 
 // NewRandom generates the paper's random contact graph: every pair of
@@ -52,15 +126,32 @@ func NewRandom(n int, minICT, maxICT float64, s *rng.Stream) *Graph {
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
+// Sparse reports whether the graph uses the sparse adjacency backend.
+func (g *Graph) Sparse() bool { return g.adj != nil }
+
+// findEdge binary-searches a sorted neighbor list for peer j and
+// returns its index and whether it is present.
+func findEdge(es []edge, j NodeID) (int, bool) {
+	pos := sort.Search(len(es), func(k int) bool { return es[k].to >= j })
+	return pos, pos < len(es) && es[pos].to == j
+}
+
 // Rate returns lambda_{i,j}. The diagonal is always zero.
 func (g *Graph) Rate(i, j NodeID) float64 {
 	g.check(i)
 	g.check(j)
-	return g.rates[int(i)*g.n+int(j)]
+	if g.dense != nil {
+		return g.dense[int(i)*g.n+int(j)]
+	}
+	if pos, ok := findEdge(g.adj[i], j); ok {
+		return g.adj[i][pos].rate
+	}
+	return 0
 }
 
 // SetRate sets lambda_{i,j} = lambda_{j,i} = r. It panics on negative
-// rates, out-of-range nodes, or i == j with r != 0.
+// rates, out-of-range nodes, or i == j with r != 0. Setting a rate to
+// zero removes the pair.
 func (g *Graph) SetRate(i, j NodeID, r float64) {
 	g.check(i)
 	g.check(j)
@@ -73,8 +164,31 @@ func (g *Graph) SetRate(i, j NodeID, r float64) {
 		}
 		return
 	}
-	g.rates[int(i)*g.n+int(j)] = r
-	g.rates[int(j)*g.n+int(i)] = r
+	if g.dense != nil {
+		g.dense[int(i)*g.n+int(j)] = r
+		g.dense[int(j)*g.n+int(i)] = r
+		return
+	}
+	g.setSparse(i, j, r)
+	g.setSparse(j, i, r)
+}
+
+// setSparse updates the directed entry i -> j in the sorted neighbor
+// list, inserting, overwriting or removing as needed.
+func (g *Graph) setSparse(i, j NodeID, r float64) {
+	es := g.adj[i]
+	pos, ok := findEdge(es, j)
+	switch {
+	case ok && r == 0:
+		g.adj[i] = append(es[:pos], es[pos+1:]...)
+	case ok:
+		es[pos].rate = r
+	case r > 0:
+		es = append(es, edge{})
+		copy(es[pos+1:], es[pos:])
+		es[pos] = edge{to: j, rate: r}
+		g.adj[i] = es
+	}
 }
 
 // MeanICT returns the mean inter-contact time 1/lambda_{i,j}, or +Inf
@@ -87,12 +201,23 @@ func (g *Graph) MeanICT(i, j NodeID) (float64, bool) {
 	return 1 / r, true
 }
 
-// Pairs invokes fn for every unordered pair with a positive rate.
+// Pairs invokes fn for every unordered pair with a positive rate, in
+// (i, j) lexicographic order on both backends.
 func (g *Graph) Pairs(fn func(i, j NodeID, rate float64)) {
+	if g.dense != nil {
+		for i := 0; i < g.n; i++ {
+			for j := i + 1; j < g.n; j++ {
+				if r := g.dense[i*g.n+j]; r > 0 {
+					fn(NodeID(i), NodeID(j), r)
+				}
+			}
+		}
+		return
+	}
 	for i := 0; i < g.n; i++ {
-		for j := i + 1; j < g.n; j++ {
-			if r := g.rates[i*g.n+j]; r > 0 {
-				fn(NodeID(i), NodeID(j), r)
+		for _, e := range g.adj[i] {
+			if e.to > NodeID(i) && e.rate > 0 {
+				fn(NodeID(i), e.to, e.rate)
 			}
 		}
 	}
@@ -101,9 +226,18 @@ func (g *Graph) Pairs(fn func(i, j NodeID, rate float64)) {
 // Degree returns the number of peers node i ever meets.
 func (g *Graph) Degree(i NodeID) int {
 	g.check(i)
+	if g.dense != nil {
+		d := 0
+		for j := 0; j < g.n; j++ {
+			if g.dense[int(i)*g.n+j] > 0 {
+				d++
+			}
+		}
+		return d
+	}
 	d := 0
-	for j := 0; j < g.n; j++ {
-		if g.rates[int(i)*g.n+j] > 0 {
+	for _, e := range g.adj[i] {
+		if e.rate > 0 {
 			d++
 		}
 	}
@@ -112,7 +246,8 @@ func (g *Graph) Degree(i NodeID) int {
 
 // TotalRate returns the sum of rates from node i to every node in set,
 // skipping i itself: the aggregate contact rate toward a candidate
-// onion group (the building block of Eq. 4).
+// onion group (the building block of Eq. 4). Summation follows set
+// order, so both backends accumulate bit-identically.
 func (g *Graph) TotalRate(i NodeID, set []NodeID) float64 {
 	g.check(i)
 	sum := 0.0
@@ -131,27 +266,64 @@ func (g *Graph) check(i NodeID) {
 	}
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph on the same backend.
 func (g *Graph) Clone() *Graph {
-	out := NewGraph(g.n)
-	copy(out.rates, g.rates)
+	out := &Graph{n: g.n}
+	if g.dense != nil {
+		out.dense = make([]float64, len(g.dense))
+		copy(out.dense, g.dense)
+		return out
+	}
+	out.adj = make([][]edge, g.n)
+	for i, es := range g.adj {
+		if len(es) == 0 {
+			continue
+		}
+		out.adj[i] = append([]edge(nil), es...)
+	}
 	return out
 }
 
 // Validate checks structural invariants (symmetry, zero diagonal,
-// non-negative rates) and returns the first violation found.
+// non-negative rates, sorted duplicate-free adjacency) and returns the
+// first violation found.
 func (g *Graph) Validate() error {
-	for i := 0; i < g.n; i++ {
-		if g.rates[i*g.n+i] != 0 {
-			return fmt.Errorf("contact: non-zero self rate at node %d", i)
-		}
-		for j := i + 1; j < g.n; j++ {
-			a, b := g.rates[i*g.n+j], g.rates[j*g.n+i]
-			if a != b {
-				return fmt.Errorf("contact: asymmetric rate (%d,%d): %v vs %v", i, j, a, b)
+	if g.dense != nil {
+		for i := 0; i < g.n; i++ {
+			if g.dense[i*g.n+i] != 0 {
+				return fmt.Errorf("contact: non-zero self rate at node %d", i)
 			}
-			if a < 0 {
-				return fmt.Errorf("contact: negative rate (%d,%d): %v", i, j, a)
+			for j := i + 1; j < g.n; j++ {
+				a, b := g.dense[i*g.n+j], g.dense[j*g.n+i]
+				if a != b {
+					return fmt.Errorf("contact: asymmetric rate (%d,%d): %v vs %v", i, j, a, b)
+				}
+				if a < 0 {
+					return fmt.Errorf("contact: negative rate (%d,%d): %v", i, j, a)
+				}
+			}
+		}
+		return nil
+	}
+	for i, es := range g.adj {
+		prev := NodeID(-1)
+		for _, e := range es {
+			if e.to <= prev {
+				return fmt.Errorf("contact: unsorted or duplicate adjacency at node %d", i)
+			}
+			prev = e.to
+			if e.to < 0 || int(e.to) >= g.n {
+				return fmt.Errorf("contact: node %d lists out-of-range peer %d", i, e.to)
+			}
+			if int(e.to) == i {
+				return fmt.Errorf("contact: non-zero self rate at node %d", i)
+			}
+			if e.rate < 0 {
+				return fmt.Errorf("contact: negative rate (%d,%d): %v", i, e.to, e.rate)
+			}
+			pos, ok := findEdge(g.adj[e.to], NodeID(i))
+			if !ok || g.adj[e.to][pos].rate != e.rate {
+				return fmt.Errorf("contact: asymmetric rate (%d,%d)", i, e.to)
 			}
 		}
 	}
@@ -221,4 +393,26 @@ func (g *Graph) MeanRate() float64 {
 		return 0
 	}
 	return sum / float64(cnt)
+}
+
+// toSparse returns a copy of g on the sparse backend (test support for
+// the differential suites; a no-op copy if already sparse).
+func (g *Graph) toSparse() *Graph {
+	out := &Graph{n: g.n, adj: make([][]edge, g.n)}
+	g.Pairs(func(i, j NodeID, r float64) {
+		out.setSparse(i, j, r)
+		out.setSparse(j, i, r)
+	})
+	return out
+}
+
+// toDense returns a copy of g on the dense backend (test support; the
+// caller is responsible for keeping n small enough to materialize).
+func (g *Graph) toDense() *Graph {
+	out := &Graph{n: g.n, dense: make([]float64, g.n*g.n)}
+	g.Pairs(func(i, j NodeID, r float64) {
+		out.dense[int(i)*g.n+int(j)] = r
+		out.dense[int(j)*g.n+int(i)] = r
+	})
+	return out
 }

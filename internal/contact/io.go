@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -62,7 +63,12 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("contact: line %d: bad node count %q", lineNo, fields[1])
 			}
-			g = NewGraph(n)
+			// New validates n against MaxNodes before allocating, so a
+			// corrupt header cannot trigger an n*n OOM.
+			g, err = New(n)
+			if err != nil {
+				return nil, fmt.Errorf("contact: line %d: %v", lineNo, err)
+			}
 			continue
 		}
 		if len(fields) != 3 {
@@ -86,8 +92,10 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 		if i == j {
 			return nil, fmt.Errorf("contact: line %d: self pair", lineNo)
 		}
-		if rate <= 0 {
-			return nil, fmt.Errorf("contact: line %d: non-positive rate %v", lineNo, rate)
+		// NaN fails every ordered comparison, so `rate <= 0` alone would
+		// accept it and corrupt the graph.
+		if !(rate > 0) || math.IsInf(rate, 1) {
+			return nil, fmt.Errorf("contact: line %d: rate %v is not a positive finite number", lineNo, rate)
 		}
 		g.SetRate(NodeID(i), NodeID(j), rate)
 	}

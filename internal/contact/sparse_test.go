@@ -1,0 +1,322 @@
+package contact
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The sparse/dense differential suite: the dense matrix is the
+// reference implementation, and every accessor must be bit-identical on
+// the sparse adjacency backend — not statistically close, identical —
+// because figure artifacts are byte-compared across backends in CI.
+
+func TestNewBackendSelection(t *testing.T) {
+	small, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Sparse() {
+		t.Error("16-node graph should use the dense backend")
+	}
+	big, err := New(DefaultDenseNodeLimit + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !big.Sparse() {
+		t.Errorf("%d-node graph should use the sparse backend", DefaultDenseNodeLimit+1)
+	}
+	restore := SetDenseNodeLimit(0)
+	defer restore()
+	forced, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced.Sparse() {
+		t.Error("SetDenseNodeLimit(0) should force the sparse backend")
+	}
+}
+
+func TestNewRejectsBadNodeCounts(t *testing.T) {
+	for _, n := range []int{0, -1, -1 << 40, MaxNodes + 1, 1 << 40} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d): want error, got nil", n)
+		}
+	}
+	if _, err := New(MaxNodes); err != nil {
+		t.Errorf("New(MaxNodes): %v", err)
+	}
+}
+
+func TestNewGraphPanicsBeyondMaxNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGraph(MaxNodes+1) should panic")
+		}
+	}()
+	NewGraph(MaxNodes + 1)
+}
+
+// randGroups carves random disjoint onion groups out of [0, n),
+// avoiding src=0 and dst=1.
+func randGroups(s *rng.Stream, n, k, size int) [][]NodeID {
+	perm := s.Perm(n - 2)
+	groups := make([][]NodeID, k)
+	idx := 0
+	for gi := range groups {
+		for len(groups[gi]) < size && idx < len(perm) {
+			groups[gi] = append(groups[gi], NodeID(perm[idx]+2))
+			idx++
+		}
+	}
+	return groups
+}
+
+// TestSparseDenseBitIdentical drives every Graph accessor over random
+// dense-reference graphs and their sparse conversions.
+func TestSparseDenseBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := rng.New(seed)
+			const n = 60
+			d := NewRandom(n, 1, 360, s.Split("graph"))
+			// Thin the graph so sparse paths with absent edges are hit.
+			thin := s.Split("thin")
+			d.Pairs(func(i, j NodeID, _ float64) {
+				if thin.Bernoulli(0.5) {
+					d.SetRate(i, j, 0)
+				}
+			})
+			sp := d.toSparse()
+			if sp.Sparse() == d.Sparse() {
+				t.Fatal("conversion did not change backend")
+			}
+
+			if err := d.Validate(); err != nil {
+				t.Fatalf("dense Validate: %v", err)
+			}
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("sparse Validate: %v", err)
+			}
+
+			for i := NodeID(0); i < n; i++ {
+				for j := NodeID(0); j < n; j++ {
+					if d.Rate(i, j) != sp.Rate(i, j) {
+						t.Fatalf("Rate(%d,%d): dense %v sparse %v", i, j, d.Rate(i, j), sp.Rate(i, j))
+					}
+				}
+				if d.Degree(i) != sp.Degree(i) {
+					t.Fatalf("Degree(%d): dense %d sparse %d", i, d.Degree(i), sp.Degree(i))
+				}
+			}
+
+			type pair struct {
+				i, j NodeID
+				r    float64
+			}
+			var dp, sp2 []pair
+			d.Pairs(func(i, j NodeID, r float64) { dp = append(dp, pair{i, j, r}) })
+			sp.Pairs(func(i, j NodeID, r float64) { sp2 = append(sp2, pair{i, j, r}) })
+			if len(dp) != len(sp2) {
+				t.Fatalf("Pairs count: dense %d sparse %d", len(dp), len(sp2))
+			}
+			for k := range dp {
+				if dp[k] != sp2[k] {
+					t.Fatalf("Pairs[%d]: dense %+v sparse %+v", k, dp[k], sp2[k])
+				}
+			}
+
+			sets := s.Split("sets")
+			for trial := 0; trial < 20; trial++ {
+				var set []NodeID
+				for _, v := range sets.Sample(n, 1+sets.IntN(8)) {
+					set = append(set, NodeID(v))
+				}
+				i := NodeID(sets.IntN(n))
+				if d.TotalRate(i, set) != sp.TotalRate(i, set) {
+					t.Fatalf("TotalRate(%d, %v): dense %v sparse %v", i, set, d.TotalRate(i, set), sp.TotalRate(i, set))
+				}
+			}
+
+			if d.MeanRate() != sp.MeanRate() {
+				t.Fatalf("MeanRate: dense %v sparse %v", d.MeanRate(), sp.MeanRate())
+			}
+
+			groups := randGroups(s.Split("groups"), n, 3, 4)
+			dr, derr := GroupPathRates(d, 0, 1, groups)
+			sr, serr := GroupPathRates(sp, 0, 1, groups)
+			if (derr == nil) != (serr == nil) {
+				t.Fatalf("GroupPathRates errors diverge: dense %v sparse %v", derr, serr)
+			}
+			for k := range dr {
+				if dr[k] != sr[k] {
+					t.Fatalf("GroupPathRates[%d]: dense %v sparse %v", k, dr[k], sr[k])
+				}
+			}
+
+			var db, sb bytes.Buffer
+			if _, err := d.WriteTo(&db); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sp.WriteTo(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(db.Bytes(), sb.Bytes()) {
+				t.Fatal("serialized graphs differ between backends")
+			}
+
+			// Clone stays on its backend and compares equal via bytes.
+			dc, sc := d.Clone(), sp.Clone()
+			if dc.Sparse() || !sc.Sparse() {
+				t.Fatal("Clone changed backend")
+			}
+			var dcb, scb bytes.Buffer
+			if _, err := dc.WriteTo(&dcb); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sc.WriteTo(&scb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dcb.Bytes(), db.Bytes()) || !bytes.Equal(scb.Bytes(), sb.Bytes()) {
+				t.Fatal("clones serialize differently from originals")
+			}
+
+			// Round-trip through toDense closes the loop.
+			back := sp.toDense()
+			var bb bytes.Buffer
+			if _, err := back.WriteTo(&bb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bb.Bytes(), db.Bytes()) {
+				t.Fatal("sparse->dense round trip drifted")
+			}
+		})
+	}
+}
+
+// TestSparseSetRateRemoval covers the sparse delete path: setting a
+// rate to zero removes the edge from both directed lists.
+func TestSparseSetRateRemoval(t *testing.T) {
+	restore := SetDenseNodeLimit(0)
+	defer restore()
+	g := NewGraph(5)
+	g.SetRate(1, 3, 0.5)
+	g.SetRate(1, 2, 0.25)
+	g.SetRate(1, 4, 0.125)
+	if got := g.Degree(1); got != 3 {
+		t.Fatalf("Degree(1) = %d, want 3", got)
+	}
+	g.SetRate(3, 1, 0) // remove via the mirrored orientation
+	if got := g.Degree(1); got != 2 {
+		t.Fatalf("after removal Degree(1) = %d, want 2", got)
+	}
+	if got := g.Rate(1, 3); got != 0 {
+		t.Fatalf("removed rate = %v, want 0", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Removing a non-existent edge is a no-op.
+	g.SetRate(0, 4, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseInsertionOrderIndependent asserts the adjacency structure
+// is canonical regardless of SetRate order (EstimateRates feeds edges
+// in random map order).
+func TestSparseInsertionOrderIndependent(t *testing.T) {
+	restore := SetDenseNodeLimit(0)
+	defer restore()
+	type e struct {
+		i, j NodeID
+		r    float64
+	}
+	edges := []e{{0, 1, 1}, {0, 2, 2}, {0, 3, 3}, {1, 3, 4}, {2, 3, 5}, {1, 2, 6}}
+	s := rng.New(9)
+	var ref []byte
+	for trial := 0; trial < 10; trial++ {
+		perm := s.Perm(len(edges))
+		g := NewGraph(4)
+		for _, k := range perm {
+			g.SetRate(edges[k].i, edges[k].j, edges[k].r)
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("insertion order %v produced a different graph", perm)
+		}
+	}
+}
+
+// FuzzReadGraphSparseDense parses arbitrary input on both backends:
+// accept/reject decisions and the re-serialized bytes must agree.
+func FuzzReadGraphSparseDense(f *testing.F) {
+	f.Add("nodes 3\n0 1 0.5\n1 2 0.25\n")
+	f.Add("nodes 3\n0 1 0.5\n0 1 0.75\n") // duplicate edge: last wins
+	f.Add("nodes 2\n0 0 1\n")             // self loop: reject
+	f.Add("nodes 3\n0 1 0.5\n1 2")        // torn final line
+	f.Add("nodes 99999999999\n")          // absurd header: reject, no OOM
+	f.Add("nodes 16777217\n")             // MaxNodes+1
+	f.Add("# comment\n\nnodes 2\n0 1 1e-9\n")
+	f.Add("nodes 2\n0 1 NaN\n")
+	f.Add("nodes 2\n0 1 -1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		// Oversized-but-valid headers make the dense pass allocate n*n;
+		// cap what this harness is willing to materialize densely.
+		for _, line := range strings.Split(input, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			var v int
+			if n, err := fmt.Sscanf(line, "nodes %d", &v); n == 1 && err == nil && v > 4096 {
+				return
+			}
+			break
+		}
+		dg, derr := ReadGraph(strings.NewReader(input))
+		restore := SetDenseNodeLimit(0)
+		sg, serr := ReadGraph(strings.NewReader(input))
+		restore()
+		if (derr == nil) != (serr == nil) {
+			t.Fatalf("accept/reject diverged: dense err=%v sparse err=%v", derr, serr)
+		}
+		if derr != nil {
+			return
+		}
+		if !sg.Sparse() {
+			t.Fatal("forced-sparse parse produced a dense graph")
+		}
+		if err := dg.Validate(); err != nil {
+			t.Fatalf("accepted dense graph fails Validate: %v", err)
+		}
+		if err := sg.Validate(); err != nil {
+			t.Fatalf("accepted sparse graph fails Validate: %v", err)
+		}
+		var db, sb bytes.Buffer
+		if _, err := dg.WriteTo(&db); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sg.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(db.Bytes(), sb.Bytes()) {
+			t.Fatal("round-tripped bytes differ between backends")
+		}
+	})
+}

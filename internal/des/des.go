@@ -2,21 +2,57 @@
 // time-ordered queue of callbacks with deterministic FIFO tie-breaking
 // for simultaneous events. It underlies both the synthetic contact
 // simulator and trace replay.
+//
+// The default event queue is a calendar-style ladder queue (ladder.go)
+// with O(1) amortized schedule/pop, replacing the original binary heap
+// whose O(log n) pops dominated city-scale runs. The heap is retained
+// (NewLegacyHeap) as the reference implementation for the differential
+// property suite: both backends pop in exactly (time, seq) order, so a
+// randomized lockstep run over identical schedules must produce
+// identical execution traces.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/obs"
 )
 
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for equal times
+	fn   func()
+}
+
+// before reports whether e pops before o: strict (time, seq) order.
+func (e event) before(o event) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue is the priority-queue contract shared by the ladder queue
+// and the legacy binary heap: pop yields pending events in strictly
+// ascending (time, seq) order.
+type eventQueue interface {
+	push(e event)
+	// peek returns the next event without removing it.
+	peek() (event, bool)
+	// pop removes and returns the next event.
+	pop() (event, bool)
+	len() int
+	reset()
+}
+
 // Scheduler orders and dispatches events. The zero value is ready to
-// use. Scheduler is not safe for concurrent use; simulations are
-// single-threaded by design and parallelism happens across runs.
+// use and is backed by the ladder queue. Scheduler is not safe for
+// concurrent use; simulations are single-threaded by design and
+// parallelism happens across runs.
 type Scheduler struct {
 	now     float64
-	queue   eventHeap
+	queue   eventQueue
 	seq     uint64
 	stopped bool
 	// maxQueue tracks the deepest the pending queue has been — a plain
@@ -25,30 +61,34 @@ type Scheduler struct {
 	maxQueue int
 }
 
-type event struct {
-	time float64
-	seq  uint64 // FIFO tie-break for equal times
-	fn   func()
-}
+// New returns a Scheduler backed by the calendar (ladder) queue — the
+// same as the zero value.
+func New() *Scheduler { return &Scheduler{} }
 
-type eventHeap []event
+// NewLegacyHeap returns a Scheduler backed by the pre-ladder binary
+// heap. It exists for the differential test suite and for paired
+// queue benchmarks; behavior is identical to New.
+func NewLegacyHeap() *Scheduler { return &Scheduler{queue: &heapQueue{}} }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// q returns the backing queue, installing the default ladder queue on
+// first use so the zero value stays ready.
+func (s *Scheduler) q() eventQueue {
+	if s.queue == nil {
+		s.queue = newLadderQueue()
 	}
-	return h[i].seq < h[j].seq
+	return s.queue
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Now returns the current simulation time.
 func (s *Scheduler) Now() float64 { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return s.queue.Len() }
+func (s *Scheduler) Len() int {
+	if s.queue == nil {
+		return 0
+	}
+	return s.queue.len()
+}
 
 // At schedules fn to run at time t. Scheduling in the past (t < Now)
 // panics: it would silently reorder causality.
@@ -56,10 +96,11 @@ func (s *Scheduler) At(t float64, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("des: event scheduled at %v before current time %v", t, s.now))
 	}
-	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn})
+	q := s.q()
+	q.push(event{time: t, seq: s.seq, fn: fn})
 	s.seq++
-	if len(s.queue) > s.maxQueue {
-		s.maxQueue = len(s.queue)
+	if n := q.len(); n > s.maxQueue {
+		s.maxQueue = n
 	}
 }
 
@@ -75,10 +116,10 @@ func (s *Scheduler) After(delay float64, fn func()) {
 // Step dispatches the earliest pending event and reports whether one
 // was dispatched.
 func (s *Scheduler) Step() bool {
-	if s.queue.Len() == 0 {
+	e, ok := s.q().pop()
+	if !ok {
 		return false
 	}
-	e := heap.Pop(&s.queue).(event)
 	s.now = e.time
 	e.fn()
 	return true
@@ -91,8 +132,10 @@ func (s *Scheduler) Step() bool {
 func (s *Scheduler) RunUntil(horizon float64) int {
 	s.stopped = false
 	dispatched := 0
-	for s.queue.Len() > 0 && !s.stopped {
-		if s.queue[0].time > horizon {
+	q := s.q()
+	for !s.stopped {
+		head, ok := q.peek()
+		if !ok || head.time > horizon {
 			break
 		}
 		s.Step()
@@ -111,8 +154,7 @@ func (s *Scheduler) RunUntil(horizon float64) int {
 func (s *Scheduler) Run() int {
 	s.stopped = false
 	dispatched := 0
-	for s.queue.Len() > 0 && !s.stopped {
-		s.Step()
+	for !s.stopped && s.Step() {
 		dispatched++
 	}
 	s.flushObs(dispatched)
@@ -136,7 +178,9 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Reset discards all pending events and rewinds the clock to zero.
 func (s *Scheduler) Reset() {
 	s.now = 0
-	s.queue = s.queue[:0]
+	if s.queue != nil {
+		s.queue.reset()
+	}
 	s.seq = 0
 	s.stopped = false
 	s.maxQueue = 0

@@ -1,0 +1,44 @@
+package des
+
+import "container/heap"
+
+// heapQueue is the original container/heap event queue, kept as the
+// reference backend for the differential suite (see NewLegacyHeap).
+type heapQueue struct {
+	h eventHeap
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{} // release the callback reference
+	*h = old[:n-1]
+	return e
+}
+
+func (q *heapQueue) push(e event) { heap.Push(&q.h, e) }
+
+func (q *heapQueue) peek() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return q.h[0], true
+}
+
+func (q *heapQueue) pop() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&q.h).(event), true
+}
+
+func (q *heapQueue) len() int { return len(q.h) }
+
+func (q *heapQueue) reset() { q.h = q.h[:0] }

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// The sparse/dense equivalence suite closes the loop from the contact
+// package's backend differential tests to the committed artifacts: the
+// full figure registry is generated with the dense matrix (the
+// backend every committed golden was produced on) and with the sparse
+// adjacency forced on, and the figure JSON must be byte-identical.
+// These tests flip the process-wide backend threshold, so they must
+// not run in parallel with each other — each restores the default
+// before returning.
+
+func allSpecs() []scenario.Scenario {
+	return append(FigureSpecs(), AblationSpecs()...)
+}
+
+// sparseEquivalenceOptions keeps the 24-spec sweep affordable while
+// still driving every measure kind through GroupPathRates, the
+// samplers, and the DES.
+func sparseEquivalenceOptions(seed uint64, workers int) Options {
+	return Options{Seed: seed, Runs: 12, SecurityRuns: 40, TraceRuns: 4, Workers: workers}
+}
+
+// TestGroupPathRatesSparseDenseBitIdentical checks the model-facing
+// hot path at every registry spec's base configuration: per-trial
+// Eq. 4 rate vectors must match bit for bit across backends.
+func TestGroupPathRatesSparseDenseBitIdentical(t *testing.T) {
+	for _, spec := range allSpecs() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			for _, seed := range []uint64{1, 42} {
+				cfg := spec.Base
+				cfg.Seed = seed
+
+				dnw, err := core.NewNetwork(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				restore := contact.SetDenseNodeLimit(0)
+				snw, err := core.NewNetwork(cfg)
+				restore()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dnw.Graph().Sparse() {
+					t.Fatal("reference network unexpectedly sparse")
+				}
+				if !snw.Graph().Sparse() {
+					t.Fatal("forced-sparse network is dense")
+				}
+
+				for i := 0; i < 8; i++ {
+					dt, derr := dnw.NewTrial(i)
+					st, serr := snw.NewTrial(i)
+					if (derr == nil) != (serr == nil) {
+						t.Fatalf("seed %d trial %d: error divergence: dense %v sparse %v", seed, i, derr, serr)
+					}
+					if derr != nil {
+						continue
+					}
+					if dt.Src != st.Src || dt.Dst != st.Dst {
+						t.Fatalf("seed %d trial %d: endpoints diverged", seed, i)
+					}
+					if len(dt.Rates) != len(st.Rates) {
+						t.Fatalf("seed %d trial %d: rate vector length %d vs %d", seed, i, len(dt.Rates), len(st.Rates))
+					}
+					for k := range dt.Rates {
+						if dt.Rates[k] != st.Rates[k] {
+							t.Fatalf("seed %d trial %d hop %d: dense %v sparse %v", seed, i, k, dt.Rates[k], st.Rates[k])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSparseDenseByteIdenticalAcrossRegistry generates every figure
+// and ablation in the registry under the dense backend (workers=1)
+// and under the forced-sparse backend (workers 1 and 4), asserting
+// byte-identical JSON. This is the acceptance gate for the backend
+// switchover: no artifact may move by a single byte.
+func TestSparseDenseByteIdenticalAcrossRegistry(t *testing.T) {
+	seeds := []uint64{1, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, spec := range allSpecs() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			for _, seed := range seeds {
+				opt := sparseEquivalenceOptions(seed, 1)
+				fig, err := Generate(spec.ID, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := fig.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					func() {
+						restore := contact.SetDenseNodeLimit(0)
+						defer restore()
+						opt := sparseEquivalenceOptions(seed, workers)
+						sfig, err := Generate(spec.ID, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := sfig.JSON()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(ref, got) {
+							t.Errorf("%s seed %d: sparse backend (workers=%d) JSON differs from dense reference (%d vs %d bytes)",
+								spec.ID, seed, workers, len(got), len(ref))
+						}
+					}()
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryCoversExpectedSpecCount pins the registry size the
+// equivalence sweep relies on; growing the registry extends the sweep
+// automatically, and this test just keeps the number honest.
+func TestRegistryCoversExpectedSpecCount(t *testing.T) {
+	if n := len(allSpecs()); n < 24 {
+		t.Fatalf("registry has %d specs, expected at least 24", n)
+	}
+	seen := map[string]bool{}
+	for _, s := range allSpecs() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate spec id %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}

@@ -6,11 +6,11 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
 	"repro/internal/contact"
+	"repro/internal/des"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -27,53 +27,42 @@ type Protocol interface {
 	Done() bool
 }
 
-// pairEvent is the next contact of one node pair.
-type pairEvent struct {
-	t    float64
-	a, b contact.NodeID
-	rate float64
-}
-
-type pairHeap []pairEvent
-
-func (h pairHeap) Len() int           { return len(h) }
-func (h pairHeap) Less(i, j int) bool { return h[i].t < h[j].t }
-func (h pairHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x any)        { *h = append(*h, x.(pairEvent)) }
-func (h *pairHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
 // RunSynthetic simulates the contact graph for [0, horizon]: every pair
 // (i, j) with rate lambda_{i,j} > 0 meets at the points of a Poisson
 // process with that rate (exponential inter-contact times, Eq. 2).
 // Contacts are delivered to p in time order until the horizon passes or
 // p.Done() reports true. It returns the number of contacts delivered.
+//
+// The engine is the des calendar-queue scheduler: each pair owns one
+// self-rescheduling event, so the pending-event set stays at O(active
+// pairs) and the RNG draw order (initial draws in Pairs order, then one
+// reschedule draw per delivered contact) is identical to the original
+// pair-heap implementation — existing artifacts reproduce byte for
+// byte.
 func RunSynthetic(g *contact.Graph, horizon float64, s *rng.Stream, p Protocol) int {
 	if horizon <= 0 {
 		return 0
 	}
-	var h pairHeap
+	sch := des.New()
+	events := 0
 	g.Pairs(func(i, j contact.NodeID, rate float64) {
+		var fire func()
+		fire = func() {
+			if p.Done() {
+				sch.Stop()
+				return
+			}
+			p.OnContact(sch.Now(), i, j)
+			events++
+			if next := sch.Now() + s.Exp(rate); next <= horizon {
+				sch.At(next, fire)
+			}
+		}
 		if t := s.Exp(rate); t <= horizon {
-			h = append(h, pairEvent{t: t, a: i, b: j, rate: rate})
+			sch.At(t, fire)
 		}
 	})
-	heap.Init(&h)
-	events := 0
-	for h.Len() > 0 {
-		if p.Done() {
-			break
-		}
-		e := h[0]
-		p.OnContact(e.t, e.a, e.b)
-		events++
-		next := e.t + s.Exp(e.rate)
-		if next <= horizon {
-			h[0].t = next
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
-		}
-	}
+	sch.Run()
 	if c := obs.Active(); c != nil {
 		c.Add(obs.SimSyntheticContacts, int64(events))
 	}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -129,6 +130,9 @@ func ParseReader(r io.Reader) (*Trace, error) {
 		if a == b {
 			return nil, fmt.Errorf("trace: line %d: self-contact", lineNo)
 		}
+		if math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(end) || math.IsInf(end, 0) {
+			return nil, fmt.Errorf("trace: line %d: non-finite contact interval [%v,%v]", lineNo, start, end)
+		}
 		if end < start {
 			return nil, fmt.Errorf("trace: line %d: end %v before start %v", lineNo, end, start)
 		}
@@ -202,7 +206,10 @@ func (t *Trace) EstimateRates() (*contact.Graph, error) {
 	if d <= 0 {
 		return nil, errors.New("trace: zero duration, cannot estimate rates")
 	}
-	g := contact.NewGraph(t.NodeCount)
+	g, err := contact.New(t.NodeCount)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
 	counts := make(map[[2]contact.NodeID]int)
 	for _, c := range t.Contacts {
 		a, b := c.A, c.B

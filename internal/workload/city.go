@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/contact"
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/trace"
+)
+
+// CitySpec configures the city-scale synthetic mobility workload: N
+// nodes dropped uniformly on a Width x Width torus (a binomial point
+// process, the conditioned form of a Poisson point process), with every
+// pair closer than Range meeting at the points of a Poisson process
+// whose rate decays linearly with distance. The result is a sparse
+// contact trace — average degree is constant in N for the default
+// geometry — suitable for exercising the engine at node counts far
+// beyond the paper's scenarios.
+type CitySpec struct {
+	Nodes      int     // node count (>= 2)
+	Width      float64 // torus side, meters
+	Range      float64 // radio range, meters; pairs farther apart never meet
+	MeanICT    float64 // mean inter-contact time at distance 0, seconds
+	ContactSec float64 // mean contact duration, seconds
+	Horizon    float64 // trace span, seconds
+	Seed       uint64
+	Workers    int // worker pool size; <= 0 means GOMAXPROCS
+}
+
+// DefaultCitySpec returns the reference geometry for n nodes: 100 m
+// radio range, a torus sized for constant node density (average degree
+// ~= 4*pi regardless of n), one-hour mean inter-contact time at zero
+// distance, one-minute contacts, and a one-day horizon.
+func DefaultCitySpec(n int) CitySpec {
+	return CitySpec{
+		Nodes:      n,
+		Width:      100 * math.Sqrt(float64(n)) / 2,
+		Range:      100,
+		MeanICT:    3600,
+		ContactSec: 60,
+		Horizon:    86400,
+	}
+}
+
+func (s CitySpec) validate() error {
+	switch {
+	case s.Nodes < 2:
+		return fmt.Errorf("workload: city needs at least 2 nodes, got %d", s.Nodes)
+	case s.Nodes > contact.MaxNodes:
+		return fmt.Errorf("workload: city node count %d exceeds limit %d", s.Nodes, contact.MaxNodes)
+	case !(s.Width > 0):
+		return fmt.Errorf("workload: city width must be positive, got %v", s.Width)
+	case !(s.Range > 0):
+		return fmt.Errorf("workload: city range must be positive, got %v", s.Range)
+	case !(s.MeanICT > 0):
+		return fmt.Errorf("workload: city mean ICT must be positive, got %v", s.MeanICT)
+	case !(s.ContactSec > 0):
+		return fmt.Errorf("workload: city contact duration must be positive, got %v", s.ContactSec)
+	case !(s.Horizon > 0):
+		return fmt.Errorf("workload: city horizon must be positive, got %v", s.Horizon)
+	}
+	return nil
+}
+
+// cityRate is the pair contact rate at torus distance d: linear decay
+// from 1/MeanICT at d=0 to zero at d=Range (and zero beyond).
+func (s CitySpec) cityRate(d float64) float64 {
+	if d >= s.Range {
+		return 0
+	}
+	return (1 - d/s.Range) / s.MeanICT
+}
+
+// cityPositions places the nodes: one sequential stream, so positions
+// are identical for every worker count.
+func (s CitySpec) cityPositions(root *rng.Stream) (xs, ys []float64) {
+	pos := root.Split("city-pos")
+	xs = make([]float64, s.Nodes)
+	ys = make([]float64, s.Nodes)
+	for i := 0; i < s.Nodes; i++ {
+		xs[i] = pos.Uniform(0, s.Width)
+		ys[i] = pos.Uniform(0, s.Width)
+	}
+	return xs, ys
+}
+
+// torusDist is the minimum-image distance on the Width x Width torus.
+func torusDist(x1, y1, x2, y2, w float64) float64 {
+	dx := math.Abs(x1 - x2)
+	if dx > w-dx {
+		dx = w - dx
+	}
+	dy := math.Abs(y1 - y2)
+	if dy > w-dy {
+		dy = w - dy
+	}
+	return math.Hypot(dx, dy)
+}
+
+// cityGrid bins nodes into square cells no smaller than Range, so all
+// pairs within range are found by scanning a node's cell and its eight
+// torus neighbors — O(N) candidate pairs at constant density instead of
+// the O(N^2) all-pairs scan.
+type cityGrid struct {
+	cells int
+	size  float64
+	bins  [][]int32
+}
+
+func newCityGrid(s CitySpec, xs, ys []float64) *cityGrid {
+	cells := int(s.Width / s.Range)
+	if cells < 1 {
+		cells = 1
+	}
+	g := &cityGrid{cells: cells, size: s.Width / float64(cells), bins: make([][]int32, cells*cells)}
+	for i := range xs {
+		g.bins[g.cellOf(xs[i], ys[i])] = append(g.bins[g.cellOf(xs[i], ys[i])], int32(i))
+	}
+	return g
+}
+
+func (g *cityGrid) cellOf(x, y float64) int {
+	cx := int(x / g.size)
+	if cx >= g.cells {
+		cx = g.cells - 1
+	}
+	cy := int(y / g.size)
+	if cy >= g.cells {
+		cy = g.cells - 1
+	}
+	return cy*g.cells + cx
+}
+
+// neighborhood calls fn for each node in the 3x3 cell block around
+// (x, y), visiting each cell at most once even when the torus wraps the
+// block onto itself (cells < 3).
+func (g *cityGrid) neighborhood(x, y float64, fn func(j int32)) {
+	c := g.cellOf(x, y)
+	cx, cy := c%g.cells, c/g.cells
+	var visited [9]int
+	nv := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx := (cx + dx + g.cells) % g.cells
+			ny := (cy + dy + g.cells) % g.cells
+			cell := ny*g.cells + nx
+			dup := false
+			for k := 0; k < nv; k++ {
+				if visited[k] == cell {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			visited[nv] = cell
+			nv++
+			for _, j := range g.bins[cell] {
+				fn(j)
+			}
+		}
+	}
+}
+
+// CityScale generates a city-scale contact trace from the spec. The
+// trace is byte-identical for every worker count: positions come from
+// one sequential stream, each pair's contact process from a stream
+// derived only from the pair's node indices, and per-node results are
+// concatenated in node order before the final stable sort by start
+// time.
+func CityScale(s CitySpec) (*trace.Trace, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(s.Seed)
+	xs, ys := s.cityPositions(root)
+	grid := newCityGrid(s, xs, ys)
+	contacts := root.Split("city-contacts")
+
+	perNode, err := runner.MapTrials(s.Workers, s.Nodes, func(i int) ([]trace.Contact, error) {
+		// Collect in-range higher-indexed partners of node i, sorted so
+		// the per-node contact list is generated in a canonical order.
+		var partners []int32
+		grid.neighborhood(xs[i], ys[i], func(j int32) {
+			if int(j) > i && torusDist(xs[i], ys[i], xs[j], ys[j], s.Width) < s.Range {
+				partners = append(partners, j)
+			}
+		})
+		sort.Slice(partners, func(a, b int) bool { return partners[a] < partners[b] })
+
+		var out []trace.Contact
+		for _, j := range partners {
+			d := torusDist(xs[i], ys[i], xs[j], ys[j], s.Width)
+			rate := s.cityRate(d)
+			if rate <= 0 {
+				continue
+			}
+			pair := contacts.SplitN("pair-i", i).SplitN("pair-j", int(j))
+			for t := pair.Exp(rate); t <= s.Horizon; t += pair.Exp(rate) {
+				out = append(out, trace.Contact{
+					A:     contact.NodeID(i),
+					B:     contact.NodeID(j),
+					Start: t,
+					End:   t + pair.Exp(1/s.ContactSec),
+				})
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: city generation: %w", err)
+	}
+
+	total := 0
+	for _, c := range perNode {
+		total += len(c)
+	}
+	tr := &trace.Trace{NodeCount: s.Nodes, Contacts: make([]trace.Contact, 0, total)}
+	for _, c := range perNode {
+		tr.Contacts = append(tr.Contacts, c...)
+	}
+	tr.SortByStart()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: city trace invalid: %w", err)
+	}
+	return tr, nil
+}
