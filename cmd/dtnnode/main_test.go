@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestDaemonMainLifecycle runs three dtnnode mains against an
+// in-process directory, fires one live contact between two of them via
+// the control plane, and shuts the fleet down with quit requests —
+// every main must exit cleanly and report its stats.
+func TestDaemonMainLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP daemons")
+	}
+	dir, err := cluster.NewDir(cluster.DirConfig{Nodes: 3, GroupSize: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+
+	const n = 3
+	outs := make([]bytes.Buffer, n)
+	errs := make(chan error, n)
+	addrs := make([]chan string, n)
+	for id := 0; id < n; id++ {
+		addrs[id] = make(chan string, 1)
+		go func(id int) {
+			args := []string{"-id", strconv.Itoa(id), "-dir", dir.Addr()}
+			errs <- run(args, &outs[id], func(addr string) { addrs[id] <- addr })
+		}(id)
+	}
+	nodeAddr := make([]string, n)
+	for id := 0; id < n; id++ {
+		select {
+		case nodeAddr[id] = <-addrs[id]:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon %d did not come up", id)
+		}
+	}
+	if got := dir.Members(); got != n {
+		t.Fatalf("directory has %d members, want %d", got, n)
+	}
+
+	co := cluster.NewCoordinator(0)
+	defer co.Close()
+	msg := cluster.SyntheticWorkload(5, n, 1, 1, 1)[0]
+	if err := co.Inject(nodeAddr[msg.Src], 5, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Contact(nodeAddr[msg.Src], msg.Dst, nodeAddr[msg.Dst], 1.0); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < n; id++ {
+		if err := co.Quit(nodeAddr[id]); err != nil {
+			t.Fatalf("quit daemon %d: %v", id, err)
+		}
+	}
+	for id := 0; id < n; id++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("a dtnnode main failed: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("a dtnnode main did not exit after quit")
+		}
+	}
+	for id := 0; id < n; id++ {
+		if !strings.Contains(outs[id].String(), "done: sent=") {
+			t.Fatalf("daemon %d did not report stats:\n%s", id, outs[id].String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dir", "127.0.0.1:1"}, &out, nil); err == nil || !strings.Contains(err.Error(), "-id") {
+		t.Fatalf("missing -id not rejected: %v", err)
+	}
+	if err := run([]string{"-id", "0"}, &out, nil); err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("missing -dir not rejected: %v", err)
+	}
+	if err := run([]string{"-id", "0", "-dir", "127.0.0.1:1", "-timeout", "100ms"}, &out, nil); err == nil {
+		t.Fatal("unreachable directory not surfaced")
+	}
+}

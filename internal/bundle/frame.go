@@ -1,0 +1,76 @@
+package bundle
+
+// Stream framing: bundles travel over byte-stream transports (the TCP
+// runtime in internal/cluster) as length-prefixed frames, so a receiver
+// can delimit messages without trusting the peer to behave. The prefix
+// is 4 bytes big endian; the payload is opaque to this layer (the
+// cluster protocol puts a type byte plus either JSON or a marshaled
+// bundle inside).
+//
+// Framing failures reuse the PR 2 damage taxonomy so socket tears get
+// the same treatment as in-memory ones: a read that ends mid-prefix or
+// mid-payload is ErrTruncated (the connection died — the sender keeps
+// custody and re-offers at a later contact), while a hostile or
+// corrupted length prefix is ErrTampered (drop the connection, do not
+// retry).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FramePrefixSize is the size of the length prefix.
+const FramePrefixSize = 4
+
+// MaxFrame bounds a stream frame's payload: the largest legal bundle
+// frame plus slack for the cluster protocol's envelope (type byte, hop
+// counter) and control messages. Anything larger is a hostile prefix.
+const MaxFrame = HeaderSize + MaxPayload + TrailerSize + 64
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("bundle: empty frame payload")
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("bundle: frame payload %d exceeds limit %d", len(payload), MaxFrame)
+	}
+	var prefix [FramePrefixSize]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("bundle: write frame prefix: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("bundle: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r. It returns io.EOF
+// only at a clean frame boundary (no bytes read); a stream that ends
+// mid-prefix or mid-payload yields ErrTruncated, and a prefix declaring
+// zero or more than MaxFrame bytes yields ErrTampered before any
+// payload allocation.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var prefix [FramePrefixSize]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: stream ended mid-prefix: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length frame", ErrTampered)
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: declared frame %d exceeds limit %d", ErrTampered, n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: stream ended mid-frame (%v)", ErrTruncated, err)
+	}
+	return payload, nil
+}

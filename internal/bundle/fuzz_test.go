@@ -2,6 +2,9 @@ package bundle
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"testing"
 
 	"repro/internal/fault"
@@ -54,6 +57,77 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if b2.ID != b.ID || b2.LastHop != b.LastHop || !bytes.Equal(b2.Data, b.Data) {
 			t.Fatal("round trip after fuzz accept diverged")
+		}
+	})
+}
+
+// FuzzFrameDecode hammers the TCP length-framing decoder with
+// arbitrary byte streams: it must never panic or over-allocate, every
+// error must classify as io.EOF (clean boundary), ErrTruncated (torn
+// stream), or ErrTampered (hostile prefix), and every accepted payload
+// must survive a re-frame round trip. The corpus is seeded from the
+// same torn/flipped shapes the PR 2 fault layer produces, wrapped in
+// frames, plus mid-prefix splits and oversized-length prefixes.
+func FuzzFrameDecode(f *testing.F) {
+	good, err := sample().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	framed := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(framed(good))
+	f.Add(append(framed(good), framed([]byte{0x7F})...)) // back-to-back frames
+	f.Add([]byte{})
+	f.Add([]byte{0x00})                       // mid-prefix split
+	f.Add(framed(good)[:FramePrefixSize+3])   // mid-header split
+	f.Add(framed(good)[:len(framed(good))-5]) // torn payload
+	oversize := make([]byte, FramePrefixSize)
+	binary.BigEndian.PutUint32(oversize, MaxFrame+1)
+	f.Add(oversize)                                    // hostile length prefix
+	f.Add(append([]byte(nil), 0xFF, 0xFF, 0xFF, 0xFF)) // max uint32 prefix
+
+	// Fault-layer-produced damage, framed: the exact shapes a torn or
+	// flipped socket write would deliver.
+	f.Add(framed(fault.Truncate(good, HeaderSize)))
+	plan := fault.NewPlan(fault.Uniform(1), rng.New(1).Split("faults"))
+	for i := 0; i < 8; i++ {
+		h := plan.Handoff(len(good))
+		switch {
+		case h.Truncate:
+			if h.Cut > 0 {
+				f.Add(framed(fault.Truncate(good, h.Cut)))
+			}
+		case h.Corrupt:
+			f.Add(framed(fault.Flip(good, h.Flip)))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrTampered) {
+					t.Fatalf("unclassified frame error: %v", err)
+				}
+				return
+			}
+			if len(payload) == 0 || len(payload) > MaxFrame {
+				t.Fatalf("accepted payload of %d bytes", len(payload))
+			}
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, payload); err != nil {
+				t.Fatalf("accepted payload failed to re-frame: %v", err)
+			}
+			again, err := ReadFrame(&buf)
+			if err != nil || !bytes.Equal(again, payload) {
+				t.Fatalf("re-framed payload diverged: %v", err)
+			}
 		}
 	})
 }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/contact"
+	"repro/internal/node"
+)
+
+// Config configures an in-process loopback cluster: one directory
+// service plus one daemon per node, every process boundary a real TCP
+// connection.
+type Config struct {
+	Nodes     int
+	GroupSize int
+	// Seed drives the group partition; a reference node.NewNetwork run
+	// with the same seed routes over the identical partition.
+	Seed        uint64
+	BufferLimit int
+	Spray       bool
+	// Shares and Threshold configure the directory's Shamir key split
+	// (defaults 5 and 3).
+	Shares    int
+	Threshold int
+	Timeout   time.Duration
+}
+
+// Cluster is a launched loopback cluster.
+type Cluster struct {
+	cfg     Config
+	dir     *Dir
+	daemons []*Daemon
+}
+
+// Launch starts the directory and all daemons. On any failure the
+// already-started processes are torn down.
+func Launch(cfg Config) (*Cluster, error) {
+	dir, err := NewDir(DirConfig{
+		Nodes:     cfg.Nodes,
+		GroupSize: cfg.GroupSize,
+		Seed:      cfg.Seed,
+		Shares:    cfg.Shares,
+		Threshold: cfg.Threshold,
+		Timeout:   cfg.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := dir.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, dir: dir, daemons: make([]*Daemon, cfg.Nodes)}
+	for id := 0; id < cfg.Nodes; id++ {
+		d, err := StartDaemon(DaemonConfig{
+			ID:          id,
+			DirAddr:     dir.Addr(),
+			BufferLimit: cfg.BufferLimit,
+			Spray:       cfg.Spray,
+			Timeout:     cfg.Timeout,
+		})
+		if err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("cluster: start daemon %d: %w", id, err)
+		}
+		c.daemons[id] = d
+	}
+	return c, nil
+}
+
+// Dir returns the directory service.
+func (c *Cluster) Dir() *Dir { return c.dir }
+
+// Daemon returns the daemon for node id.
+func (c *Cluster) Daemon(id contact.NodeID) *Daemon {
+	if id < 0 || int(id) >= len(c.daemons) || c.daemons[id] == nil {
+		panic(fmt.Sprintf("cluster: no daemon for node %d", id))
+	}
+	return c.daemons[id]
+}
+
+// Close shuts down every daemon, then the directory.
+func (c *Cluster) Close() error {
+	var errs []error
+	for _, d := range c.daemons {
+		if d != nil {
+			errs = append(errs, d.Close())
+		}
+	}
+	errs = append(errs, c.dir.Close())
+	return errors.Join(errs...)
+}
+
+// TotalStats aggregates all daemon node counters, the live analogue of
+// Network.TotalStats.
+func (c *Cluster) TotalStats() node.Stats {
+	var total node.Stats
+	for _, d := range c.daemons {
+		if d == nil {
+			continue
+		}
+		s := d.Node().Stats()
+		total.Sent += s.Sent
+		total.Forwarded += s.Forwarded
+		total.Carried += s.Carried
+		total.Delivered += s.Delivered
+		total.Rejected += s.Rejected
+		total.Refused += s.Refused
+		total.Expired += s.Expired
+		total.Purged += s.Purged
+		total.Truncated += s.Truncated
+		total.Corrupted += s.Corrupted
+		total.Retried += s.Retried
+		total.Duplicates += s.Duplicates
+		total.Crashes += s.Crashes
+		total.CrashDropped += s.CrashDropped
+	}
+	return total
+}

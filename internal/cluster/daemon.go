@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/contact"
+	"repro/internal/groups"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/onion"
+	"repro/internal/rng"
+)
+
+// DaemonConfig configures one dtnnode daemon.
+type DaemonConfig struct {
+	ID      int
+	DirAddr string
+	// ListenAddr defaults to an ephemeral loopback port.
+	ListenAddr  string
+	BufferLimit int
+	Spray       bool
+	// Timeout bounds every per-connection socket operation (default
+	// 10s).
+	Timeout time.Duration
+}
+
+// Daemon is one DTN node running as a network service: it joins the
+// directory, reconstructs the group structure and layer keys from its
+// welcome, and then speaks the custody offer/verdict protocol over
+// length-framed TCP. The node logic is internal/node unchanged — the
+// daemon only swaps the in-memory pipe for sockets.
+type Daemon struct {
+	cfg  DaemonConfig
+	node *node.Node
+
+	mu          sync.Mutex
+	lis         net.Listener
+	addr        string
+	incarnation uint64
+	conns       map[net.Conn]struct{}
+	closed      bool
+	quit        chan struct{} // closed when the current incarnation stops
+	wg          sync.WaitGroup
+}
+
+// ContactReport summarizes one live contact from the initiator's view.
+type ContactReport struct {
+	Offered    int // offers sent (both directions)
+	Transfers  int // offers the receiving side accepted
+	Deliveries int // accepted offers that were final deliveries
+	Rejected   int // offers the receiving side turned down
+}
+
+// StartDaemon joins the directory at cfg.DirAddr and starts serving.
+func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	d := &Daemon{
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+	}
+	if err := d.open(1, false); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// open listens, registers at the given incarnation, and (on first
+// join) builds the node from the directory's welcome.
+func (d *Daemon) open(incarnation uint64, preserveCustody bool) error {
+	lis, err := net.Listen("tcp", d.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: daemon %d listen: %w", d.cfg.ID, err)
+	}
+	welcome, err := d.register(lis.Addr().String(), incarnation)
+	if err != nil {
+		_ = lis.Close()
+		return err
+	}
+	if d.node == nil {
+		dir, err := buildView(welcome)
+		if err != nil {
+			_ = lis.Close()
+			return err
+		}
+		if d.node, err = node.New(contact.NodeID(d.cfg.ID), dir, d.cfg.BufferLimit); err != nil {
+			_ = lis.Close()
+			return err
+		}
+	} else {
+		// Crash/restart: volatile custody is lost unless persisted;
+		// durable logs (delivered, seen, acks) survive.
+		d.node.Crash(preserveCustody)
+	}
+	d.mu.Lock()
+	d.lis = lis
+	d.addr = lis.Addr().String()
+	d.incarnation = incarnation
+	d.closed = false
+	d.quit = make(chan struct{})
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.acceptLoop(lis)
+	return nil
+}
+
+// buildView reconstructs the client-side directory from a welcome:
+// partition from the assignment, layer keys from the threshold shares.
+func buildView(w *welcomeMsg) (*groups.Directory, error) {
+	byNode := make([]onion.GroupID, len(w.Assignment))
+	for i, gid := range w.Assignment {
+		byNode[i] = onion.GroupID(gid)
+	}
+	dir, err := groups.NewFromAssignment(byNode, w.G)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rebuild partition: %w", err)
+	}
+	groupKeys, nodeKeys, err := recoverKeys(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := dir.InstallSymmetricKeys(groupKeys, nodeKeys); err != nil {
+		return nil, fmt.Errorf("cluster: install keys: %w", err)
+	}
+	return dir, nil
+}
+
+// register joins the directory and returns the welcome.
+func (d *Daemon) register(addr string, incarnation uint64) (*welcomeMsg, error) {
+	conn, err := dial(d.cfg.DirAddr, d.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req := registerMsg{Version: protoVersion, ID: d.cfg.ID, Addr: addr, Incarnation: incarnation}
+	if err := writeJSON(conn, mRegister, req); err != nil {
+		return nil, err
+	}
+	var welcome welcomeMsg
+	if err := readExpect(conn, mWelcome, &welcome); err != nil {
+		return nil, fmt.Errorf("cluster: daemon %d register: %w", d.cfg.ID, err)
+	}
+	return &welcome, nil
+}
+
+// Addr returns the daemon's current listening address.
+func (d *Daemon) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addr
+}
+
+// Node exposes the underlying node for test assertions.
+func (d *Daemon) Node() *node.Node { return d.node }
+
+// Incarnation returns the daemon's current membership incarnation.
+func (d *Daemon) Incarnation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.incarnation
+}
+
+// Send originates a message from this daemon's node. The path stream
+// must be the same substream the reference tier uses for this message
+// index (PathStream) or the two tiers route differently.
+func (d *Daemon) Send(spec node.SendSpec, pathStream *rng.Stream) (string, error) {
+	return d.node.Send(spec, pathStream)
+}
+
+// Kill abruptly closes the listener and every open connection without
+// deregistering — the networked analogue of pulling the plug. Peers
+// mid-contact observe a torn connection; custody they have not heard
+// an accept-verdict for stays with them.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.quit)
+	}
+	lis := d.lis
+	for conn := range d.conns {
+		_ = conn.Close()
+	}
+	d.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	d.wg.Wait()
+}
+
+// Wait blocks until the daemon's current incarnation has stopped (a
+// Kill, a graceful Close, or a coordinator quit request) and every
+// connection handler has drained.
+func (d *Daemon) Wait() {
+	d.mu.Lock()
+	q := d.quit
+	d.mu.Unlock()
+	<-q
+	d.wg.Wait()
+}
+
+// Restart brings a killed daemon back at the next incarnation,
+// re-registering with the directory. Custody survives only when it was
+// persisted (preserveCustody); the delivered/seen/ack logs always do.
+func (d *Daemon) Restart(preserveCustody bool) error {
+	d.mu.Lock()
+	if !d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("cluster: daemon %d is still running", d.cfg.ID)
+	}
+	next := d.incarnation + 1
+	d.mu.Unlock()
+	return d.open(next, preserveCustody)
+}
+
+// Close gracefully shuts down: leave the directory, then stop serving.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	inc := d.incarnation
+	d.mu.Unlock()
+	if conn, err := dial(d.cfg.DirAddr, d.cfg.Timeout); err == nil {
+		_ = writeJSON(conn, mLeave, leaveMsg{ID: d.cfg.ID, Incarnation: inc})
+		_ = readExpect(conn, mOK, nil)
+		_ = conn.Close()
+	}
+	d.Kill()
+	return nil
+}
+
+func (d *Daemon) acceptLoop(lis net.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		if c := obs.Active(); c != nil {
+			c.Add(obs.ClusterAccepts, 1)
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go d.serve(conn)
+	}
+}
+
+// serve handles one inbound connection: a contact session when it
+// opens with a hello, a control session otherwise.
+func (d *Daemon) serve(conn net.Conn) {
+	defer d.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+	_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+	typ, body, err := readMsg(conn)
+	if err != nil {
+		return
+	}
+	if typ == mHello {
+		d.serveContact(conn, body)
+		return
+	}
+	for {
+		if err := d.serveControl(conn, typ, body); err != nil {
+			return
+		}
+		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+		if typ, body, err = readMsg(conn); err != nil {
+			return
+		}
+	}
+}
+
+// errQuit unwinds a control session after a quit request.
+var errQuit = errors.New("cluster: quit")
+
+// serveControl executes one coordinator request.
+func (d *Daemon) serveControl(conn net.Conn, typ byte, body []byte) error {
+	switch typ {
+	case mSend:
+		var m sendMsg
+		if err := unmarshalStrict(body, &m); err != nil {
+			sendErr(conn, err)
+			return err
+		}
+		if m.Src != d.cfg.ID {
+			err := fmt.Errorf("send for node %d routed to node %d", m.Src, d.cfg.ID)
+			sendErr(conn, err)
+			return nil
+		}
+		spec := node.SendSpec{
+			Dst:     contact.NodeID(m.Dst),
+			Payload: m.Payload,
+			Relays:  m.Relays,
+			Copies:  m.Copies,
+			Expiry:  m.Expiry,
+			ID:      m.MsgID,
+		}
+		if _, err := d.node.Send(spec, PathStream(m.Seed, m.Index)); err != nil {
+			sendErr(conn, err)
+			return nil
+		}
+		return writeJSON(conn, mOK, okMsg{})
+	case mContact:
+		var m contactMsg
+		if err := unmarshalStrict(body, &m); err != nil {
+			sendErr(conn, err)
+			return err
+		}
+		if _, err := d.Contact(contact.NodeID(m.Peer), m.Addr, m.Now); err != nil {
+			sendErr(conn, err)
+			return nil
+		}
+		return writeJSON(conn, mOK, okMsg{})
+	case mStats:
+		s := d.node.Stats()
+		resp := statsRespMsg{
+			Sent:      s.Sent,
+			Forwarded: s.Forwarded,
+			Carried:   s.Carried,
+			Delivered: s.Delivered,
+			Rejected:  s.Rejected,
+			BufferLen: d.node.BufferLen(),
+		}
+		for _, rec := range d.node.DeliveryRecords() {
+			resp.Deliveries = append(resp.Deliveries, deliveryRespWire{MsgID: rec.MsgID, Hops: rec.Hops})
+		}
+		return writeJSON(conn, mStatsResp, resp)
+	case mQuit:
+		_ = writeJSON(conn, mOK, okMsg{})
+		go d.Close()
+		return errQuit
+	default:
+		err := fmt.Errorf("unexpected control message type %d", typ)
+		sendErr(conn, err)
+		return err
+	}
+}
+
+// Contact runs one live contact as the initiator, mirroring
+// Network.Meet's order: the initiator offers first, then the peer.
+// Custody is only released on a read accept-verdict, so a connection
+// torn anywhere in the exchange leaves every unacknowledged onion with
+// its current custodian — the next contact re-offers it.
+func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (ContactReport, error) {
+	var rep ContactReport
+	conn, err := dial(addr, d.cfg.Timeout)
+	if err != nil {
+		return rep, err
+	}
+	defer conn.Close()
+	frames := 0
+	d.node.Expire(now)
+	hello := helloMsg{Version: protoVersion, From: d.cfg.ID, To: int(peer), Now: now}
+	if err := writeJSON(conn, mHello, hello); err != nil {
+		return rep, err
+	}
+	if err := readExpect(conn, mOK, nil); err != nil {
+		return rep, fmt.Errorf("cluster: contact %d->%d: %w", d.cfg.ID, peer, err)
+	}
+	frames += 2
+
+	// Outbound half: offer, await verdict, release custody on accept.
+	for _, off := range d.node.OffersTo(peer, d.cfg.Spray) {
+		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+		if err := writeMsg(conn, mOffer, offerBody(off.Hops, off.Frame)); err != nil {
+			return rep, err
+		}
+		var v verdictMsg
+		if err := readExpect(conn, mVerdict, &v); err != nil {
+			return rep, err
+		}
+		frames += 2
+		rep.Offered++
+		if v.Accepted {
+			d.node.HandoffAccepted(off.MsgID)
+			rep.Transfers++
+			if v.Delivered {
+				rep.Deliveries++
+			}
+		} else {
+			rep.Rejected++
+		}
+	}
+	if err := writeMsg(conn, mEndOffers, nil); err != nil {
+		return rep, err
+	}
+	frames++
+
+	// Inbound half: receive the peer's offers until it signals done.
+	for {
+		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+		typ, body, err := readMsg(conn)
+		if err != nil {
+			return rep, err
+		}
+		frames++
+		if typ == mContactDone {
+			break
+		}
+		if typ != mOffer {
+			return rep, fmt.Errorf("cluster: contact %d->%d: unexpected message type %d", d.cfg.ID, peer, typ)
+		}
+		verdict := d.takeOffer(body)
+		rep.Offered++
+		if verdict.Accepted {
+			rep.Transfers++
+			if verdict.Delivered {
+				rep.Deliveries++
+			}
+		} else {
+			rep.Rejected++
+		}
+		if err := writeJSON(conn, mVerdict, verdict); err != nil {
+			return rep, err
+		}
+		frames++
+	}
+	if c := obs.Active(); c != nil {
+		c.Add(obs.ClusterContacts, 1)
+		c.Observe(obs.HistClusterConnFrames, int64(frames))
+	}
+	return rep, nil
+}
+
+// serveContact is the passive side of a contact.
+func (d *Daemon) serveContact(conn net.Conn, helloBody []byte) {
+	var hello helloMsg
+	if err := unmarshalStrict(helloBody, &hello); err != nil {
+		sendErr(conn, err)
+		return
+	}
+	if hello.Version != protoVersion {
+		sendErr(conn, fmt.Errorf("protocol version %d, want %d", hello.Version, protoVersion))
+		return
+	}
+	if hello.To != d.cfg.ID {
+		sendErr(conn, fmt.Errorf("contact addressed to node %d, reached node %d", hello.To, d.cfg.ID))
+		return
+	}
+	d.node.Expire(hello.Now)
+	if err := writeJSON(conn, mOK, okMsg{}); err != nil {
+		return
+	}
+
+	// Inbound half: the initiator offers first.
+	for {
+		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+		typ, body, err := readMsg(conn)
+		if err != nil {
+			return
+		}
+		if typ == mEndOffers {
+			break
+		}
+		if typ != mOffer {
+			sendErr(conn, fmt.Errorf("unexpected message type %d during offers", typ))
+			return
+		}
+		if err := writeJSON(conn, mVerdict, d.takeOffer(body)); err != nil {
+			return
+		}
+	}
+
+	// Outbound half: now this side offers.
+	for _, off := range d.node.OffersTo(contact.NodeID(hello.From), d.cfg.Spray) {
+		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+		if err := writeMsg(conn, mOffer, offerBody(off.Hops, off.Frame)); err != nil {
+			return
+		}
+		var v verdictMsg
+		if err := readExpect(conn, mVerdict, &v); err != nil {
+			return
+		}
+		if v.Accepted {
+			d.node.HandoffAccepted(off.MsgID)
+		}
+	}
+	_ = writeMsg(conn, mContactDone, nil)
+}
+
+// takeOffer ingests one offered hand-off and produces the verdict.
+func (d *Daemon) takeOffer(body []byte) verdictMsg {
+	hops, frame, err := decodeOffer(body)
+	if err != nil {
+		return verdictMsg{Reason: err.Error()}
+	}
+	delivered, err := d.node.Receive(frame, hops)
+	if err != nil {
+		return verdictMsg{Reason: err.Error()}
+	}
+	return verdictMsg{Accepted: true, Delivered: delivered}
+}

@@ -1,0 +1,216 @@
+package cluster
+
+// The differential harness: the same workload, trace, and seed run
+// through the in-process runtime (node.Network driven by sim.Replay)
+// and through the live cluster must deliver the identical message set
+// — same IDs, same destinations, same hop counts — and agree on the
+// conserved stats. Three pieces make the comparison exact:
+//
+//   - deterministic message IDs (SendSpec.ID) so deliveries are
+//     identifiable across tiers;
+//   - shared relay-selection substreams (PathStream) so both tiers
+//     build the same onion for message i;
+//   - the same partition seed, so group structure agrees.
+//
+// Stats compared are the conserved subset (Sent, Forwarded, Carried,
+// Delivered): counters like Rejected can legitimately differ, because
+// an in-process sender consults the receiver's duplicate log before
+// offering while a socket sender cannot — the duplicate is rejected on
+// the wire instead of skipped silently.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/contact"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Message is one workload entry, realizable on any tier.
+type Message struct {
+	Index   int // position in the workload; selects the path substream
+	Src     contact.NodeID
+	Dst     contact.NodeID
+	Relays  int
+	Copies  int
+	Expiry  float64
+	Payload []byte
+	ID      string // 32 hex characters, deterministic per (seed, index)
+}
+
+// PathStream returns the relay-selection substream for workload
+// message i. Every tier — reference network, cluster daemon, any
+// future backend — must draw message i's path from this stream for
+// routing to agree.
+func PathStream(seed uint64, i int) *rng.Stream {
+	return rng.New(seed).SplitN("cluster-path", i)
+}
+
+// messageID derives the deterministic 32-hex-character message ID for
+// workload entry (seed, index).
+func messageID(seed uint64, i int) string {
+	return fmt.Sprintf("%016x%016x", seed, uint64(i))
+}
+
+// SyntheticWorkload derives count messages over n nodes from the
+// workload substream of seed: uniformly random distinct (src, dst)
+// pairs, fixed relay/copy counts, deterministic IDs and payloads.
+func SyntheticWorkload(seed uint64, n, count, relays, copies int) []Message {
+	ws := rng.New(seed).Split("cluster-workload")
+	msgs := make([]Message, count)
+	for i := range msgs {
+		src := contact.NodeID(ws.IntN(n))
+		dst := contact.NodeID(ws.IntN(n - 1))
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = Message{
+			Index:   i,
+			Src:     src,
+			Dst:     dst,
+			Relays:  relays,
+			Copies:  copies,
+			Payload: []byte(fmt.Sprintf("cluster-msg-%04d", i)),
+			ID:      messageID(seed, i),
+		}
+	}
+	return msgs
+}
+
+// spec converts a workload entry to a SendSpec.
+func (m Message) spec() node.SendSpec {
+	return node.SendSpec{
+		Dst:     m.Dst,
+		Payload: m.Payload,
+		Relays:  m.Relays,
+		Copies:  m.Copies,
+		Expiry:  m.Expiry,
+		ID:      m.ID,
+	}
+}
+
+// Delivery identifies one delivered message: which, to whom, in how
+// many custody transfers.
+type Delivery struct {
+	MsgID string
+	Dst   contact.NodeID
+	Hops  int
+}
+
+// DeliverySet is a delivery list sorted by message ID, the unit of
+// cross-tier comparison.
+type DeliverySet []Delivery
+
+// Diff returns a human-readable description of the first divergence
+// from other, or "" when the sets are identical.
+func (ds DeliverySet) Diff(other DeliverySet) string {
+	if len(ds) != len(other) {
+		return fmt.Sprintf("delivery counts differ: %d vs %d", len(ds), len(other))
+	}
+	for i := range ds {
+		if ds[i] != other[i] {
+			return fmt.Sprintf("delivery %d differs: %+v vs %+v", i, ds[i], other[i])
+		}
+	}
+	return ""
+}
+
+// Inject originates every workload message at its source daemon.
+func (c *Cluster) Inject(msgs []Message) error {
+	for _, m := range msgs {
+		if _, err := c.Daemon(m.Src).Send(m.spec(), PathStream(c.cfg.Seed, m.Index)); err != nil {
+			return fmt.Errorf("cluster: inject message %d: %w", m.Index, err)
+		}
+	}
+	return nil
+}
+
+// Deliveries collects the cluster's delivered set for the workload.
+func (c *Cluster) Deliveries(msgs []Message) DeliverySet {
+	out := make(DeliverySet, 0, len(msgs))
+	for _, m := range msgs {
+		if hops, ok := c.Daemon(m.Dst).Node().DeliveredHops(m.ID); ok {
+			out = append(out, Delivery{MsgID: m.ID, Dst: m.Dst, Hops: hops})
+		}
+	}
+	sortDeliveries(out)
+	return out
+}
+
+// NetworkDeliveries collects an in-process network's delivered set for
+// the workload.
+func NetworkDeliveries(nw *node.Network, msgs []Message) DeliverySet {
+	out := make(DeliverySet, 0, len(msgs))
+	for _, m := range msgs {
+		if hops, ok := nw.Node(m.Dst).DeliveredHops(m.ID); ok {
+			out = append(out, Delivery{MsgID: m.ID, Dst: m.Dst, Hops: hops})
+		}
+	}
+	sortDeliveries(out)
+	return out
+}
+
+func sortDeliveries(ds DeliverySet) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].MsgID < ds[j].MsgID })
+}
+
+// RunReference executes the workload on the in-process tier: a
+// node.Network with the cluster's seed (hence the identical partition)
+// driven by serial trace replay. It returns the network for delivery
+// and stats inspection.
+func RunReference(cfg Config, msgs []Message, tr *trace.Trace, from, horizon float64) (*node.Network, error) {
+	nw, err := node.NewNetwork(node.Config{
+		Nodes:       cfg.Nodes,
+		GroupSize:   cfg.GroupSize,
+		Seed:        cfg.Seed,
+		Spray:       cfg.Spray,
+		BufferLimit: cfg.BufferLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		if _, err := nw.Node(m.Src).Send(m.spec(), PathStream(cfg.Seed, m.Index)); err != nil {
+			return nil, fmt.Errorf("cluster: reference send %d: %w", m.Index, err)
+		}
+	}
+	nw.DriveTrace(tr, from, horizon, nil)
+	return nw, nil
+}
+
+// RecordSynthetic realizes the synthetic contact process (the paper's
+// pairwise exponential model) as a concrete trace, so the identical
+// contact sequence can drive both the in-process tier and the live
+// cluster.
+func RecordSynthetic(g *contact.Graph, horizon float64, s *rng.Stream) *trace.Trace {
+	rec := &contactRecorder{n: g.N()}
+	sim.RunSynthetic(g, horizon, s, rec)
+	return &trace.Trace{NodeCount: rec.n, Contacts: rec.contacts}
+}
+
+type contactRecorder struct {
+	n        int
+	contacts []trace.Contact
+}
+
+func (r *contactRecorder) OnContact(t float64, a, b contact.NodeID) {
+	r.contacts = append(r.contacts, trace.Contact{A: a, B: b, Start: t, End: t})
+}
+
+func (r *contactRecorder) Done() bool { return false }
+
+// StatsSubset is the conserved-counter subset compared across tiers.
+type StatsSubset struct {
+	Sent      int
+	Forwarded int
+	Carried   int
+	Delivered int
+}
+
+// Subset projects the conserved counters out of full node stats.
+func Subset(s node.Stats) StatsSubset {
+	return StatsSubset{Sent: s.Sent, Forwarded: s.Forwarded, Carried: s.Carried, Delivered: s.Delivered}
+}

@@ -3,7 +3,6 @@ package node
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/bundle"
 	"repro/internal/contact"
@@ -204,26 +203,12 @@ func exchangeAcksLocked(a, b *Node) {
 // and both map iteration order and the crypto-random message IDs would
 // make delivery outcomes nondeterministic for a fixed seed.
 func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport, col *obs.Collector) {
-	held := make([]*carried, 0, len(sender.buffer))
-	for _, c := range sender.buffer {
-		held = append(held, c)
-	}
-	sort.Slice(held, func(i, j int) bool { return held[i].seq < held[j].seq })
-	for _, c := range held {
+	for _, c := range sender.custodyFIFOLocked() {
 		id := c.id
 		if receiver.seen[id] {
 			continue
 		}
-		eligible := false
-		switch {
-		case c.lastHop:
-			eligible = c.deliverTo == receiver.id
-		case nw.dir.Contains(c.group, receiver.id):
-			eligible = true
-		case nw.cfg.Spray && c.tickets >= 2:
-			eligible = true
-		}
-		if !eligible {
+		if !sender.eligibleLocked(c, receiver.id, nw.cfg.Spray) {
 			continue
 		}
 		frame, err := c.toBundle().Marshal()
@@ -238,6 +223,12 @@ func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport, col *
 			// valid bundle; the sender keeps custody and re-offers at a
 			// later contact (the inter-contact gap is the backoff).
 			continue
+		}
+		// The hop counter rides outside the bundle frame (the frame
+		// layout is pinned by the PR 2 fault schedules).
+		incoming.hops = c.hops + 1
+		if dup != nil {
+			dup.hops = c.hops + 1
 		}
 		if err := receiver.acceptLocked(incoming); err != nil {
 			rep.Rejected++

@@ -57,6 +57,12 @@ type carried struct {
 	lastHop   bool
 	tickets   int
 	expiry    float64
+	// hops counts the custody transfers this copy has experienced since
+	// origination. It rides outside the bundle wire format (the Network
+	// and the cluster protocol thread it alongside the frame), so the
+	// PR 2 fault schedules — which draw on frame length — are
+	// untouched.
+	hops int
 	// seq orders this node's custody FIFO. Message IDs are drawn from
 	// crypto/rand, so any ID-based ordering would differ run to run;
 	// custody order is reproducible for a fixed workload seed, and
@@ -71,26 +77,47 @@ type Node struct {
 	dir         *groups.Directory
 	bufferLimit int // 0 = unlimited
 
-	mu        sync.Mutex
-	buffer    map[string]*carried
-	delivered map[string][]byte
-	seen      map[string]bool // message IDs ever carried or delivered
-	acks      map[string]bool // delivered-message IDs known to this node
-	nextSeq   uint64          // custody FIFO counter for carried.seq
-	stats     Stats
+	mu            sync.Mutex
+	buffer        map[string]*carried
+	delivered     map[string][]byte
+	deliveredHops map[string]int  // msg id -> custody transfers to reach us
+	seen          map[string]bool // message IDs ever carried or delivered
+	acks          map[string]bool // delivered-message IDs known to this node
+	nextSeq       uint64          // custody FIFO counter for carried.seq
+	stats         Stats
 }
 
 // newNode builds a node bound to the shared group directory.
 func newNode(id contact.NodeID, dir *groups.Directory, bufferLimit int) *Node {
 	return &Node{
-		id:          id,
-		dir:         dir,
-		bufferLimit: bufferLimit,
-		buffer:      make(map[string]*carried),
-		delivered:   make(map[string][]byte),
-		seen:        make(map[string]bool),
-		acks:        make(map[string]bool),
+		id:            id,
+		dir:           dir,
+		bufferLimit:   bufferLimit,
+		buffer:        make(map[string]*carried),
+		delivered:     make(map[string][]byte),
+		deliveredHops: make(map[string]int),
+		seen:          make(map[string]bool),
+		acks:          make(map[string]bool),
 	}
+}
+
+// New builds a standalone node bound to a group directory — the entry
+// point for runtimes that own a single node per process (the TCP
+// daemons in internal/cluster), where NewNetwork's all-nodes-in-one-
+// address-space provisioning does not apply. The directory is typically
+// a client-side view reconstructed from a directory service
+// (groups.NewFromAssignment + InstallSymmetricKeys).
+func New(id contact.NodeID, dir *groups.Directory, bufferLimit int) (*Node, error) {
+	if dir == nil {
+		return nil, errors.New("node: nil directory")
+	}
+	if id < 0 || int(id) >= dir.N() {
+		return nil, fmt.Errorf("node: id %d out of range [0, %d)", id, dir.N())
+	}
+	if bufferLimit < 0 {
+		return nil, fmt.Errorf("node: negative buffer limit %d", bufferLimit)
+	}
+	return newNode(id, dir, bufferLimit), nil
 }
 
 // ID returns the node's identifier.
@@ -138,6 +165,11 @@ type SendSpec struct {
 	Copies  int     // L tickets
 	Expiry  float64 // absolute deadline; 0 = never expires
 	PadTo   int     // onion padding target; 0 = no padding
+	// ID optionally fixes the message ID (32 hex characters). The
+	// default draws from crypto/rand; differential harnesses that
+	// compare delivered-message sets across tiers inject deterministic
+	// IDs here so the same workload is identifiable in both.
+	ID string
 }
 
 // Send builds an onion for the destination through Relays onion groups
@@ -167,12 +199,19 @@ func (n *Node) Send(spec SendSpec, pathStream *rng.Stream) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("node: build onion: %w", err)
 	}
-	msgID, err := newMessageID()
-	if err != nil {
-		return "", err
+	msgID := spec.ID
+	if msgID == "" {
+		if msgID, err = newMessageID(); err != nil {
+			return "", err
+		}
+	} else if raw, err := hex.DecodeString(msgID); err != nil || len(raw) != 16 {
+		return "", fmt.Errorf("node: message id %q is not 32 hex characters", msgID)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.seen[msgID] {
+		return "", fmt.Errorf("node: message id %s already used", msgID)
+	}
 	n.buffer[msgID] = &carried{
 		id:      msgID,
 		data:    data,
@@ -235,6 +274,7 @@ func (n *Node) acceptLocked(c *carried) error {
 			return fmt.Errorf("%w: %v", errTransfer, err)
 		}
 		n.delivered[c.id] = payload
+		n.deliveredHops[c.id] = c.hops
 		n.seen[c.id] = true
 		n.acks[c.id] = true // origin of the anti-packet
 		n.stats.Delivered++
@@ -245,7 +285,7 @@ func (n *Node) acceptLocked(c *carried) error {
 		// member is met.
 		n.buffer[c.id] = &carried{
 			id: c.id, data: c.data, group: c.group, tickets: 1, expiry: c.expiry,
-			seq: n.claimSeqLocked(),
+			hops: c.hops, seq: n.claimSeqLocked(),
 		}
 		n.seen[c.id] = true
 		n.stats.Carried++
@@ -263,7 +303,7 @@ func (n *Node) acceptLocked(c *carried) error {
 		n.stats.Rejected++
 		return fmt.Errorf("%w: %v", errTransfer, err)
 	}
-	next := &carried{id: c.id, tickets: 1, expiry: c.expiry, seq: n.claimSeqLocked()}
+	next := &carried{id: c.id, tickets: 1, expiry: c.expiry, hops: c.hops, seq: n.claimSeqLocked()}
 	if peeled.Deliver {
 		next.lastHop = true
 		next.deliverTo = contact.NodeID(peeled.Dest)

@@ -65,6 +65,17 @@ const (
 	ExpBatchCapacityNanos // wall-clock x workers summed over batches
 	ExpTrialBusyNanos     // per-trial busy time summed over all trials
 
+	// internal/cluster: live TCP runtime.
+	ClusterDials         // outbound connections dialed
+	ClusterAccepts       // inbound connections accepted
+	ClusterContacts      // socket contacts executed
+	ClusterFramesOut     // frames written to sockets
+	ClusterFramesIn      // frames read from sockets
+	ClusterBytesOut      // frame payload bytes written
+	ClusterBytesIn       // frame payload bytes read
+	ClusterFrameErrors   // truncated/tampered reads
+	ClusterRegistrations // directory registrations accepted
+
 	numCounters
 )
 
@@ -93,6 +104,15 @@ var counterNames = [numCounters]string{
 	ExpBatchWallNanos:     "experiment.batch_wall_nanos",
 	ExpBatchCapacityNanos: "experiment.batch_capacity_nanos",
 	ExpTrialBusyNanos:     "experiment.trial_busy_nanos",
+	ClusterDials:          "cluster.dials",
+	ClusterAccepts:        "cluster.accepts",
+	ClusterContacts:       "cluster.contacts",
+	ClusterFramesOut:      "cluster.frames_out",
+	ClusterFramesIn:       "cluster.frames_in",
+	ClusterBytesOut:       "cluster.bytes_out",
+	ClusterBytesIn:        "cluster.bytes_in",
+	ClusterFrameErrors:    "cluster.frame_errors",
+	ClusterRegistrations:  "cluster.registrations",
 }
 
 // String returns the manifest key of the counter.
@@ -105,6 +125,7 @@ const (
 	HistContactTransfers  Histogram = iota // custody transfers per contact
 	HistHandoffFrameBytes                  // marshaled frame size per hand-off attempt
 	HistTrialBatchTrials                   // trials per MapTrials batch
+	HistClusterConnFrames                  // frames exchanged per socket connection
 
 	numHistograms
 )
@@ -113,6 +134,7 @@ var histogramNames = [numHistograms]string{
 	HistContactTransfers:  "node.contact_transfers",
 	HistHandoffFrameBytes: "node.handoff_frame_bytes",
 	HistTrialBatchTrials:  "experiment.trial_batch_trials",
+	HistClusterConnFrames: "cluster.conn_frames",
 }
 
 // String returns the manifest key of the histogram.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/contact"
 )
@@ -59,6 +60,39 @@ func (t *Trace) MinContacts(min int) func(contact.NodeID) bool {
 		counts[c.B]++
 	}
 	return func(v contact.NodeID) bool { return counts[v] >= min }
+}
+
+// KeepBusiest keeps the n most active nodes (by contact count, ties
+// broken by lower ID) and compacts IDs to [0, n) — how a small cluster
+// replays a campus-scale trace. A trace already at or below n nodes is
+// returned unchanged.
+func (t *Trace) KeepBusiest(n int) (*Trace, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("trace: keeping %d nodes leaves no contacts", n)
+	}
+	if t.NodeCount <= n {
+		return t, nil
+	}
+	counts := make([]int, t.NodeCount)
+	for _, c := range t.Contacts {
+		counts[c.A]++
+		counts[c.B]++
+	}
+	order := make([]int, t.NodeCount)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] > counts[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	keep := make(map[contact.NodeID]bool, n)
+	for _, v := range order[:n] {
+		keep[contact.NodeID(v)] = true
+	}
+	return t.FilterNodes(func(v contact.NodeID) bool { return keep[v] })
 }
 
 // Window returns a new trace restricted to contacts starting in

@@ -137,3 +137,36 @@ func TestFilterPipelineOnSynthetic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKeepBusiest(t *testing.T) {
+	tr := filterFixture()
+	// Contact counts: node 0 -> 3, node 1 -> 3, node 2 -> 2, node 4 -> 2.
+	out, err := tr.KeepBusiest(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NodeCount != 3 {
+		t.Fatalf("NodeCount = %d, want 3", out.NodeCount)
+	}
+	// Nodes 0, 1 (busiest) and 2 (tie with 4, lower ID wins) survive;
+	// only contacts among them remain.
+	if len(out.Contacts) != 3 {
+		t.Fatalf("contacts = %d, want 3", len(out.Contacts))
+	}
+	for _, c := range out.Contacts {
+		if int(c.A) >= 3 || int(c.B) >= 3 {
+			t.Fatalf("uncompacted node in %+v", c)
+		}
+	}
+	// At or below the requested size: unchanged.
+	same, err := out.KeepBusiest(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != out {
+		t.Fatal("small trace was rebuilt")
+	}
+	if _, err := tr.KeepBusiest(1); err == nil {
+		t.Fatal("single-node trace accepted")
+	}
+}
