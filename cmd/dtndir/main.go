@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/contact"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -36,6 +37,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtndir:", err)
 		os.Exit(1)
 	}
+}
+
+// metricsReady, when set by a test, receives the metrics scrape URL
+// once the endpoint is serving.
+var metricsReady func(url string)
+
+// serveMetricsFlag installs a fresh observability collector and serves
+// it as a Prometheus scrape target when addr is non-empty. It returns
+// a shutdown func (never nil).
+func serveMetricsFlag(addr string, out io.Writer) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	col := obs.NewCollector()
+	obs.Install(col)
+	ms, err := obs.ServeMetrics(addr, col)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "dtndir: serving metrics at %s\n", ms.URL())
+	if metricsReady != nil {
+		metricsReady(ms.URL())
+	}
+	return func() { _ = ms.Close() }, nil
 }
 
 // run is the testable entry point. ready, when non-nil, is called with
@@ -57,10 +82,16 @@ func run(args []string, out io.Writer, ready func(addr string)) error {
 		relays     = fs.Int("relays", 1, "onion relay groups per message (K)")
 		copies     = fs.Int("copies", 2, "spray copies per message (L)")
 		joinWait   = fs.Duration("join-wait", 60*time.Second, "how long to wait for all nodes to register")
+		metrics    = fs.String("metrics", "", "serve live Prometheus /metrics on this address (enables the observability collector)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	closeMetrics, err := serveMetricsFlag(*metrics, out)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics()
 	dir, err := cluster.NewDir(cluster.DirConfig{
 		Nodes:     *n,
 		GroupSize: *g,

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // TestCoordinatedReplay is the README's worked example as a test: the
@@ -93,5 +96,87 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-n", "5", "-g", "2", "-coordinate", "-trace", "/does/not/exist", "-join-wait", "1ms"}, &out, nil); err == nil {
 		t.Fatal("accepted a missing trace file")
+	}
+}
+
+// TestDirMetricsEndpoint: dtndir -metrics exposes directory activity
+// (daemon registrations) as Prometheus series while coordinating.
+func TestDirMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a TCP fleet")
+	}
+	urlCh := make(chan string, 1)
+	metricsReady = func(url string) { urlCh <- url }
+	defer func() { metricsReady = nil }()
+
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errCh <- run([]string{
+			"-n", "3", "-g", "1", "-seed", "9", "-metrics", "127.0.0.1:0",
+			"-coordinate", "-trace", "infocom", "-from", "32400", "-horizon", "1800",
+			"-msgs", "4", "-relays", "1", "-copies", "2", "-join-wait", "30s",
+		}, &out, func(addr string) { addrCh <- addr })
+	}()
+	var scrapeURL, dirAddr string
+	select {
+	case scrapeURL = <-urlCh:
+	case err := <-errCh:
+		t.Fatalf("dtndir exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("metrics endpoint never came up")
+	}
+	select {
+	case dirAddr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("directory never started serving")
+	}
+
+	daemons := make([]*cluster.Daemon, 3)
+	for id := 0; id < 3; id++ {
+		d, err := cluster.StartDaemon(cluster.DaemonConfig{ID: id, DirAddr: dirAddr})
+		if err != nil {
+			t.Fatalf("daemon %d: %v", id, err)
+		}
+		daemons[id] = d
+		defer d.Kill()
+	}
+
+	// All three registrations flow through the directory's collector.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(scrapeURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := obs.ParseExposition(body)
+		if err != nil {
+			t.Fatalf("scrape is not valid exposition: %v", err)
+		}
+		if v, ok := exp.Value("dtn_cluster_registrations_total"); ok && v >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registrations never reached 3 in scrape:\n%s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("dtndir failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("coordinated replay did not finish")
+	}
+	if _, err := http.Get(scrapeURL); err == nil {
+		t.Fatal("metrics endpoint still serving after dtndir exited")
 	}
 }

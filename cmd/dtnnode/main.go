@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtnnode:", err)
 		os.Exit(1)
 	}
+}
+
+// metricsReady, when set by a test, receives the metrics scrape URL
+// once the endpoint is serving.
+var metricsReady func(url string)
+
+// serveMetricsFlag installs a fresh observability collector and serves
+// it as a Prometheus scrape target when addr is non-empty. It returns
+// a shutdown func (never nil).
+func serveMetricsFlag(addr, command string, out io.Writer) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	col := obs.NewCollector()
+	obs.Install(col)
+	ms, err := obs.ServeMetrics(addr, col)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "%s: serving metrics at %s\n", command, ms.URL())
+	if metricsReady != nil {
+		metricsReady(ms.URL())
+	}
+	return func() { _ = ms.Close() }, nil
 }
 
 // run is the testable entry point. ready, when non-nil, is called with
@@ -42,6 +67,7 @@ func run(args []string, out io.Writer, ready func(addr string)) error {
 		buffer  = fs.Int("buffer", 0, "custody buffer limit (0 = unlimited)")
 		spray   = fs.Bool("spray", true, "offer spray copies to non-members while tickets remain")
 		timeout = fs.Duration("timeout", 10*time.Second, "per-connection socket timeout")
+		metrics = fs.String("metrics", "", "serve live Prometheus /metrics on this address (enables the observability collector)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +78,11 @@ func run(args []string, out io.Writer, ready func(addr string)) error {
 	if *dirAddr == "" {
 		return fmt.Errorf("missing -dir")
 	}
+	closeMetrics, err := serveMetricsFlag(*metrics, "dtnnode", out)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics()
 	d, err := cluster.StartDaemon(cluster.DaemonConfig{
 		ID:          *id,
 		DirAddr:     *dirAddr,

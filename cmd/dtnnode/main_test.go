@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // TestDaemonMainLifecycle runs three dtnnode mains against an
@@ -91,5 +94,86 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-id", "0", "-dir", "127.0.0.1:1", "-timeout", "100ms"}, &out, nil); err == nil {
 		t.Fatal("unreachable directory not surfaced")
+	}
+}
+
+// TestMetricsEndpoint: a dtnnode run with -metrics serves well-formed
+// Prometheus exposition reflecting its live cluster activity, and the
+// endpoint goes down with the daemon.
+func TestMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP daemons")
+	}
+	dir, err := cluster.NewDir(cluster.DirConfig{Nodes: 3, GroupSize: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+
+	urlCh := make(chan string, 1)
+	metricsReady = func(url string) { urlCh <- url }
+	defer func() { metricsReady = nil }()
+
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errCh <- run([]string{
+			"-id", "0", "-dir", dir.Addr(), "-metrics", "127.0.0.1:0",
+		}, &out, func(addr string) { addrCh <- addr })
+	}()
+	var scrapeURL, nodeAddr string
+	select {
+	case scrapeURL = <-urlCh:
+	case err := <-errCh:
+		t.Fatalf("dtnnode exited before serving metrics: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("metrics endpoint never came up")
+	}
+	select {
+	case nodeAddr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never registered")
+	}
+
+	resp, err := http.Get(scrapeURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("scrape is not valid exposition: %v", err)
+	}
+	// Registering with the directory dialed at least once.
+	if v, ok := exp.Value("dtn_cluster_dials_total"); !ok || v < 1 {
+		t.Fatalf("dtn_cluster_dials_total = %v (ok=%v), want >= 1", v, ok)
+	}
+
+	co := cluster.NewCoordinator(0)
+	defer co.Close()
+	if err := co.Quit(nodeAddr); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("dtnnode failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dtnnode did not exit after quit")
+	}
+	if _, err := http.Get(scrapeURL); err == nil {
+		t.Fatal("metrics endpoint still serving after the daemon exited")
+	}
+	if !strings.Contains(out.String(), "serving metrics at") {
+		t.Fatalf("run did not announce the metrics endpoint:\n%s", out.String())
 	}
 }

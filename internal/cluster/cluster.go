@@ -19,7 +19,10 @@ type Config struct {
 	// with the same seed routes over the identical partition.
 	Seed        uint64
 	BufferLimit int
-	Spray       bool
+	// ReofferLimit caps how many buffer-full refusals a carried copy
+	// survives before its daemon drops it (0 = unlimited re-offers).
+	ReofferLimit int
+	Spray        bool
 	// Shares and Threshold configure the directory's Shamir key split
 	// (defaults 5 and 3).
 	Shares    int
@@ -54,11 +57,12 @@ func Launch(cfg Config) (*Cluster, error) {
 	c := &Cluster{cfg: cfg, dir: dir, daemons: make([]*Daemon, cfg.Nodes)}
 	for id := 0; id < cfg.Nodes; id++ {
 		d, err := StartDaemon(DaemonConfig{
-			ID:          id,
-			DirAddr:     dir.Addr(),
-			BufferLimit: cfg.BufferLimit,
-			Spray:       cfg.Spray,
-			Timeout:     cfg.Timeout,
+			ID:           id,
+			DirAddr:      dir.Addr(),
+			BufferLimit:  cfg.BufferLimit,
+			ReofferLimit: cfg.ReofferLimit,
+			Spray:        cfg.Spray,
+			Timeout:      cfg.Timeout,
 		})
 		if err != nil {
 			_ = c.Close()
@@ -109,6 +113,7 @@ func (c *Cluster) TotalStats() node.Stats {
 		total.Refused += s.Refused
 		total.Expired += s.Expired
 		total.Purged += s.Purged
+		total.BackpressureDropped += s.BackpressureDropped
 		total.Truncated += s.Truncated
 		total.Corrupted += s.Corrupted
 		total.Retried += s.Retried

@@ -22,9 +22,14 @@ type DaemonConfig struct {
 	// ListenAddr defaults to an ephemeral loopback port.
 	ListenAddr  string
 	BufferLimit int
-	Spray       bool
-	// Timeout bounds every per-connection socket operation (default
-	// 10s).
+	// ReofferLimit caps how many buffer-full refusals a carried copy
+	// survives before the daemon drops it (0 = unlimited re-offers).
+	ReofferLimit int
+	Spray        bool
+	// Timeout bounds every socket I/O operation; the deadline is
+	// refreshed on each read and write, so a multi-frame contact that
+	// keeps making progress may run longer than Timeout while a stalled
+	// one is torn down within it (default 10s).
 	Timeout time.Duration
 }
 
@@ -95,6 +100,7 @@ func (d *Daemon) open(incarnation uint64, preserveCustody bool) error {
 			_ = lis.Close()
 			return err
 		}
+		d.node.SetReofferLimit(d.cfg.ReofferLimit)
 	} else {
 		// Crash/restart: volatile custody is lost unless persisted;
 		// durable logs (delivered, seen, acks) survive.
@@ -272,21 +278,23 @@ func (d *Daemon) serve(conn net.Conn) {
 		delete(d.conns, conn)
 		d.mu.Unlock()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
-	typ, body, err := readMsg(conn)
+	// Per-I/O deadline refresh: progress keeps the connection alive, a
+	// stall still times out within Timeout. The raw conn stays in
+	// d.conns so Kill() can tear it down.
+	rw := withIODeadline(conn, d.cfg.Timeout)
+	typ, body, err := readMsg(rw)
 	if err != nil {
 		return
 	}
 	if typ == mHello {
-		d.serveContact(conn, body)
+		d.serveContact(rw, body)
 		return
 	}
 	for {
-		if err := d.serveControl(conn, typ, body); err != nil {
+		if err := d.serveControl(rw, typ, body); err != nil {
 			return
 		}
-		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
-		if typ, body, err = readMsg(conn); err != nil {
+		if typ, body, err = readMsg(rw); err != nil {
 			return
 		}
 	}
@@ -383,7 +391,6 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 
 	// Outbound half: offer, await verdict, release custody on accept.
 	for _, off := range d.node.OffersTo(peer, d.cfg.Spray) {
-		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 		if err := writeMsg(conn, mOffer, offerBody(off.Hops, off.Frame)); err != nil {
 			return rep, err
 		}
@@ -401,6 +408,9 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 			}
 		} else {
 			rep.Rejected++
+			if v.BufferFull {
+				d.node.HandoffRefused(off.MsgID)
+			}
 		}
 	}
 	if err := writeMsg(conn, mEndOffers, nil); err != nil {
@@ -410,7 +420,6 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 
 	// Inbound half: receive the peer's offers until it signals done.
 	for {
-		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 		typ, body, err := readMsg(conn)
 		if err != nil {
 			return rep, err
@@ -440,6 +449,15 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 	if c := obs.Active(); c != nil {
 		c.Add(obs.ClusterContacts, 1)
 		c.Observe(obs.HistClusterConnFrames, int64(frames))
+		// Mirror the in-process tier's per-contact node counters (the
+		// active side counts the contact once, like Network.Meet), so
+		// a live scrape sees the same node.* activity series.
+		c.Add(obs.NodeContacts, 1)
+		c.Add(obs.NodeHandoffs, int64(rep.Transfers))
+		c.Add(obs.NodeDeliveries, int64(rep.Deliveries))
+		c.Add(obs.NodeRejected, int64(rep.Rejected))
+		c.Observe(obs.HistContactTransfers, int64(rep.Transfers))
+		c.RecordMax(obs.NodeCustodyHighWater, int64(d.node.BufferLen()))
 	}
 	return rep, nil
 }
@@ -466,7 +484,6 @@ func (d *Daemon) serveContact(conn net.Conn, helloBody []byte) {
 
 	// Inbound half: the initiator offers first.
 	for {
-		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 		typ, body, err := readMsg(conn)
 		if err != nil {
 			return
@@ -485,7 +502,6 @@ func (d *Daemon) serveContact(conn net.Conn, helloBody []byte) {
 
 	// Outbound half: now this side offers.
 	for _, off := range d.node.OffersTo(contact.NodeID(hello.From), d.cfg.Spray) {
-		_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 		if err := writeMsg(conn, mOffer, offerBody(off.Hops, off.Frame)); err != nil {
 			return
 		}
@@ -495,6 +511,8 @@ func (d *Daemon) serveContact(conn net.Conn, helloBody []byte) {
 		}
 		if v.Accepted {
 			d.node.HandoffAccepted(off.MsgID)
+		} else if v.BufferFull {
+			d.node.HandoffRefused(off.MsgID)
 		}
 	}
 	_ = writeMsg(conn, mContactDone, nil)
@@ -508,7 +526,7 @@ func (d *Daemon) takeOffer(body []byte) verdictMsg {
 	}
 	delivered, err := d.node.Receive(frame, hops)
 	if err != nil {
-		return verdictMsg{Reason: err.Error()}
+		return verdictMsg{Reason: err.Error(), BufferFull: errors.Is(err, node.ErrBufferFull)}
 	}
 	return verdictMsg{Accepted: true, Delivered: delivered}
 }

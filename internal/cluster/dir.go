@@ -210,15 +210,18 @@ func (d *Dir) acceptLoop(lis net.Listener) {
 	}
 }
 
-func (d *Dir) serve(conn net.Conn) {
+func (d *Dir) serve(raw net.Conn) {
 	defer d.wg.Done()
 	defer func() {
-		_ = conn.Close()
+		_ = raw.Close()
 		d.mu.Lock()
-		delete(d.conns, conn)
+		delete(d.conns, raw)
 		d.mu.Unlock()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+	// Per-I/O deadline refresh: a slow-but-progressing welcome download
+	// survives, a stalled peer is torn down within Timeout. The raw
+	// conn stays keyed in d.conns so Close() can tear it down.
+	conn := withIODeadline(raw, d.cfg.Timeout)
 	typ, body, err := readMsg(conn)
 	if err != nil {
 		return

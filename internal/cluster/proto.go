@@ -76,6 +76,11 @@ type verdictMsg struct {
 	Accepted  bool   `json:"accepted"`
 	Delivered bool   `json:"delivered,omitempty"`
 	Reason    string `json:"reason,omitempty"`
+	// BufferFull distinguishes the backpressure refusal subclass of
+	// rejections: the sender charges the copy's re-offer budget instead
+	// of treating the peer as broken. Verdicts are parsed non-strict,
+	// so older daemons ignore the field.
+	BufferFull bool `json:"buffer_full,omitempty"`
 }
 
 type registerMsg struct {
@@ -265,7 +270,43 @@ func decodeOffer(body []byte) (hops int, frame []byte, err error) {
 	return hops, body[4:], nil
 }
 
-// dial opens a connection with the configured timeout and deadline.
+// ioDeadlineConn refreshes the socket deadline before every Read and
+// Write instead of arming one absolute deadline per connection phase.
+// A phase-scoped deadline kills a slow-but-progressing multi-frame
+// hand-off the moment the whole exchange outlasts Timeout, forcing
+// custody to be needlessly re-offered; per-I/O refresh means progress
+// keeps a connection alive while a genuine stall still times out
+// within Timeout.
+type ioDeadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c ioDeadlineConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c ioDeadlineConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// withIODeadline wraps conn so every I/O operation gets a fresh
+// deadline of timeout from now.
+func withIODeadline(conn net.Conn, timeout time.Duration) net.Conn {
+	if timeout <= 0 {
+		return conn
+	}
+	return ioDeadlineConn{Conn: conn, timeout: timeout}
+}
+
+// dial opens a connection with the configured timeout; every I/O on it
+// refreshes its deadline (see ioDeadlineConn).
 func dial(addr string, timeout time.Duration) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -274,8 +315,7 @@ func dial(addr string, timeout time.Duration) (net.Conn, error) {
 	if c := obs.Active(); c != nil {
 		c.Add(obs.ClusterDials, 1)
 	}
-	_ = conn.SetDeadline(time.Now().Add(timeout))
-	return conn, nil
+	return withIODeadline(conn, timeout), nil
 }
 
 // sendErr best-effort reports a request failure to the peer.

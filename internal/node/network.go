@@ -40,6 +40,12 @@ type Config struct {
 	// A full node refuses new custody — the sender retries with other
 	// peers — but final deliveries are always accepted.
 	BufferLimit int
+	// ReofferLimit caps how many buffer-full refusals a carried copy
+	// survives before its holder drops it (0 = unlimited re-offers, the
+	// historical behavior). Under sustained load this bounds the work a
+	// hopeless copy can generate instead of letting it be re-offered to
+	// full peers forever.
+	ReofferLimit int
 	// AntiPackets enables delivery acknowledgements ("immunity" in the
 	// epidemic-routing literature): destinations gossip the IDs of
 	// delivered messages at every contact, and custodians purge stale
@@ -69,6 +75,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.BufferLimit < 0 {
 		return nil, fmt.Errorf("node: negative buffer limit %d", cfg.BufferLimit)
 	}
+	if cfg.ReofferLimit < 0 {
+		return nil, fmt.Errorf("node: negative re-offer limit %d", cfg.ReofferLimit)
+	}
 	// Fold the legacy corruption knob into the fault config. The draw
 	// sequence (one Bernoulli per hand-off, one IntN on a hit, flip of
 	// one bit) is identical to the pre-fault-layer behavior, so
@@ -92,6 +101,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	nw.nodes = make([]*Node, cfg.Nodes)
 	for i := range nw.nodes {
 		nw.nodes[i] = newNode(contact.NodeID(i), dir, cfg.BufferLimit)
+		nw.nodes[i].reofferLimit = cfg.ReofferLimit
 	}
 	return nw, nil
 }
@@ -112,6 +122,8 @@ type MeetReport struct {
 	Transfers  int // onions that changed custody
 	Deliveries int // payloads that reached their destination
 	Rejected   int // hand-offs rejected (tampering, truncation)
+	Refused    int // custody offers refused by a full buffer (subset of Rejected)
+	Dropped    int // copies dropped after exhausting their re-offer budget
 	Truncated  int // hand-offs torn mid-transfer
 	Corrupted  int // hand-offs damaged by byte flips
 	Retried    int // in-contact retransmissions after a tear
@@ -169,6 +181,8 @@ func (nw *Network) Meet(x, y contact.NodeID, now float64) MeetReport {
 		col.Add(obs.NodeHandoffs, int64(rep.Transfers))
 		col.Add(obs.NodeDeliveries, int64(rep.Deliveries))
 		col.Add(obs.NodeRejected, int64(rep.Rejected))
+		col.Add(obs.NodeRefusals, int64(rep.Refused))
+		col.Add(obs.NodeBackpressureDrops, int64(rep.Dropped))
 		col.Add(obs.NodeTruncated, int64(rep.Truncated))
 		col.Add(obs.NodeRetransmissions, int64(rep.Retried))
 		col.Add(obs.NodeTamperDrops, int64(rep.Corrupted))
@@ -232,6 +246,17 @@ func (nw *Network) exchangeLocked(sender, receiver *Node, rep *MeetReport, col *
 		}
 		if err := receiver.acceptLocked(incoming); err != nil {
 			rep.Rejected++
+			if errors.Is(err, ErrBufferFull) {
+				// Backpressure: the refusal charges the copy's re-offer
+				// budget; an exhausted budget releases custody instead of
+				// re-offering to full peers forever. With no budget
+				// configured (the default) the sender just keeps custody,
+				// exactly as before.
+				rep.Refused++
+				if sender.refusedLocked(c) {
+					rep.Dropped++
+				}
+			}
 			continue
 		}
 		if dup != nil {
@@ -324,6 +349,7 @@ func (nw *Network) TotalStats() Stats {
 		total.Refused += s.Refused
 		total.Expired += s.Expired
 		total.Purged += s.Purged
+		total.BackpressureDropped += s.BackpressureDropped
 		total.Truncated += s.Truncated
 		total.Corrupted += s.Corrupted
 		total.Retried += s.Retried

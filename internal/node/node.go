@@ -35,6 +35,11 @@ type Stats struct {
 	Refused   int // transfers refused (buffer full)
 	Expired   int // onions dropped at their deadline
 	Purged    int // onions dropped after a delivery acknowledgement
+	// BackpressureDropped counts onions this node gave up on after
+	// exhausting their re-offer budget: every offer was refused by a
+	// full peer ReofferLimit times, so custody was released without a
+	// hand-off instead of queueing the copy forever.
+	BackpressureDropped int
 
 	// Fault-injection observables (zero without injected faults).
 	Truncated    int // incoming frames torn mid-transfer
@@ -68,6 +73,10 @@ type carried struct {
 	// custody order is reproducible for a fixed workload seed, and
 	// exchange iterates in it so buffer-refusal outcomes are too.
 	seq uint64
+	// refusals counts how many custody offers of this copy were refused
+	// by a full peer; once it reaches the holder's re-offer budget the
+	// copy is dropped instead of re-offered forever.
+	refusals int
 }
 
 // Node is a single DTN participant. All methods are safe for
@@ -76,6 +85,11 @@ type Node struct {
 	id          contact.NodeID
 	dir         *groups.Directory
 	bufferLimit int // 0 = unlimited
+	// reofferLimit caps how many buffer-full refusals a carried copy
+	// survives before the holder drops it (backpressure) instead of
+	// re-offering indefinitely. 0 = unlimited re-offers, the historical
+	// behavior.
+	reofferLimit int
 
 	mu            sync.Mutex
 	buffer        map[string]*carried
@@ -243,6 +257,41 @@ func (n *Node) claimSeqLocked() uint64 {
 // errTransfer classifies a rejected hand-off: the sender keeps custody.
 var errTransfer = errors.New("node: transfer rejected")
 
+// ErrBufferFull marks the refusal subclass of rejected hand-offs: the
+// receiver's custody buffer is at its limit. Senders distinguish it
+// from tamper/unknown-layer rejections to charge the copy's re-offer
+// budget — a full peer is backpressure, not a broken frame.
+var ErrBufferFull = errors.New("buffer full")
+
+// SetReofferLimit caps how many buffer-full refusals a carried copy
+// survives before this node drops it (0 = unlimited, the default).
+// Backpressure turns unbounded re-offer queues into an explicit drop
+// policy for sustained-load service mode.
+func (n *Node) SetReofferLimit(limit int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if limit < 0 {
+		limit = 0
+	}
+	n.reofferLimit = limit
+}
+
+// refusedLocked charges one buffer-full refusal against a carried copy
+// and reports whether the re-offer budget is now exhausted, in which
+// case custody is released (the copy is dropped). The caller holds
+// n.mu.
+func (n *Node) refusedLocked(c *carried) (dropped bool) {
+	c.refusals++
+	if n.reofferLimit <= 0 || c.refusals < n.reofferLimit {
+		return false
+	}
+	if _, held := n.buffer[c.id]; held {
+		delete(n.buffer, c.id)
+		n.stats.BackpressureDropped++
+	}
+	return true
+}
+
 // acceptLocked ingests an onion handed over by a peer. The caller
 // holds n.mu (Network.Meet locks both parties in ID order). The node
 // peels the layer if it is a member of the addressed group, unwraps
@@ -257,7 +306,7 @@ func (n *Node) acceptLocked(c *carried) error {
 	// destination consume no buffer and are always accepted.
 	if n.bufferLimit > 0 && len(n.buffer) >= n.bufferLimit && !(c.lastHop && c.deliverTo == n.id) {
 		n.stats.Refused++
-		return fmt.Errorf("%w: buffer full (%d onions)", errTransfer, len(n.buffer))
+		return fmt.Errorf("%w: %w (%d onions)", errTransfer, ErrBufferFull, len(n.buffer))
 	}
 	if c.lastHop {
 		if c.deliverTo != n.id {

@@ -132,6 +132,20 @@ func (n *Node) HandoffAccepted(msgID string) {
 	}
 }
 
+// HandoffRefused charges one buffer-full refusal against a carried
+// copy and reports whether the re-offer budget is now exhausted and
+// custody was released (the backpressure drop policy — see
+// SetReofferLimit). Calling it for an unknown message is a no-op.
+func (n *Node) HandoffRefused(msgID string) (dropped bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.buffer[msgID]
+	if !ok {
+		return false
+	}
+	return n.refusedLocked(c)
+}
+
 // Expire drops onions past their deadline, as Network.Meet does at the
 // start of every contact.
 func (n *Node) Expire(now float64) {

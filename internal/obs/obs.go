@@ -19,6 +19,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,17 @@ const (
 	ClusterFrameErrors   // truncated/tampered reads
 	ClusterRegistrations // directory registrations accepted
 
+	// internal/node: backpressure-aware custody (PR 8). Appended after
+	// the cluster block so earlier manifest consumers keep their
+	// positional prefix.
+	NodeRefusals          // custody offers refused because the receiver's buffer was full
+	NodeBackpressureDrops // onions dropped after exhausting their re-offer budget
+
+	// cmd/dtnload: sustained-load service mode.
+	LoadInjected    // messages injected by the open-loop generator
+	LoadDelivered   // injected messages observed delivered
+	LoadSLOBreaches // epochs that missed a configured SLO
+
 	numCounters
 )
 
@@ -113,6 +125,11 @@ var counterNames = [numCounters]string{
 	ClusterBytesIn:        "cluster.bytes_in",
 	ClusterFrameErrors:    "cluster.frame_errors",
 	ClusterRegistrations:  "cluster.registrations",
+	NodeRefusals:          "node.refusals",
+	NodeBackpressureDrops: "node.backpressure_drops",
+	LoadInjected:          "load.injected",
+	LoadDelivered:         "load.delivered",
+	LoadSLOBreaches:       "load.slo_breaches",
 }
 
 // String returns the manifest key of the counter.
@@ -126,6 +143,7 @@ const (
 	HistHandoffFrameBytes                  // marshaled frame size per hand-off attempt
 	HistTrialBatchTrials                   // trials per MapTrials batch
 	HistClusterConnFrames                  // frames exchanged per socket connection
+	HistLoadLatencyMillis                  // delivery latency per delivered load message (sim ms)
 
 	numHistograms
 )
@@ -135,16 +153,29 @@ var histogramNames = [numHistograms]string{
 	HistHandoffFrameBytes: "node.handoff_frame_bytes",
 	HistTrialBatchTrials:  "experiment.trial_batch_trials",
 	HistClusterConnFrames: "cluster.conn_frames",
+	HistLoadLatencyMillis: "load.delivery_latency_ms",
 }
 
 // String returns the manifest key of the histogram.
 func (h Histogram) String() string { return histogramNames[h] }
 
-// histBuckets is enough for values up to 2^62.
+// histBuckets is enough for values up to 2^61-1; everything larger
+// lands in the final overflow bucket.
 const histBuckets = 63
 
-// bucketIndex maps v to its log2 bucket: bucket 0 holds v <= 0, bucket
-// i holds values in [2^(i-1), 2^i).
+// bucketIndex maps v to its log2 bucket. The semantics are pinned by
+// TestBucketSemantics (and frozen into Prometheus scrape output by the
+// promhttp exporter):
+//
+//   - bucket 0 holds v <= 0 (negative observations are clamped, never
+//     silently dropped: they count in bucket 0 and contribute 0 to the
+//     histogram sum so sum and buckets stay mutually consistent);
+//   - bucket i (1 <= i <= 61) holds v in [2^(i-1), 2^i), i.e. its
+//     inclusive upper bound is 2^i - 1;
+//   - bucket 62 is the overflow bucket holding every v >= 2^61. Its
+//     upper bound is MaxInt64 (rendered +Inf by the exporter) — the
+//     earlier code reported 2^62-1 while also binning values up to
+//     2^63-1 there, so the top bucket's bound lied about its contents.
 func bucketIndex(v int64) int {
 	if v <= 0 {
 		return 0
@@ -159,10 +190,14 @@ func bucketIndex(v int64) int {
 	return idx
 }
 
-// bucketUpperBound returns the inclusive upper bound of bucket i.
+// bucketUpperBound returns the inclusive upper bound of bucket i; the
+// final bucket is the overflow bucket with no finite bound.
 func bucketUpperBound(i int) int64 {
 	if i == 0 {
 		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
 	}
 	return int64(1)<<uint(i) - 1
 }
@@ -239,8 +274,13 @@ func (c *Collector) RecordMax(ctr Counter, v int64) {
 	}
 }
 
-// Observe implements Sink.
+// Observe implements Sink. Negative values are clamped to zero (bucket
+// 0, zero sum contribution) so the histogram sum can never disagree
+// with the bucket counts.
 func (c *Collector) Observe(h Histogram, v int64) {
+	if v < 0 {
+		v = 0
+	}
 	c.buckets[h][bucketIndex(v)].Add(1)
 	c.histSum[h].Add(v)
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -29,23 +30,74 @@ func TestCounterAndHistogramNamesComplete(t *testing.T) {
 	}
 }
 
-func TestBucketIndex(t *testing.T) {
+// TestBucketSemantics pins the histogram binning the Prometheus
+// exporter freezes into scrape output: exact bucket-boundary values,
+// negative observations, and the overflow bucket.
+func TestBucketSemantics(t *testing.T) {
 	cases := []struct {
 		v    int64
 		want int
 	}{
-		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		// Negatives and zero all land in bucket 0.
+		{math.MinInt64, 0}, {-5, 0}, {-1, 0}, {0, 0},
+		// Regular buckets: bucket i holds [2^(i-1), 2^i).
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
 		{1 << 40, 41},
+		// Exact boundaries: a power of two opens the next bucket, the
+		// value one below it closes the previous one.
+		{(1 << 20) - 1, 20}, {1 << 20, 21}, {(1 << 20) + 1, 21},
+		// Overflow bucket: everything >= 2^61 shares bucket 62.
+		{(1 << 61) - 1, 61}, {1 << 61, 62}, {1 << 62, 62}, {math.MaxInt64, 62},
 	}
 	for _, c := range cases {
 		if got := bucketIndex(c.v); got != c.want {
 			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
 		}
-		if c.v >= 0 {
-			if ub := bucketUpperBound(bucketIndex(c.v)); c.v > ub {
-				t.Errorf("value %d above its bucket upper bound %d", c.v, ub)
+		if ub := bucketUpperBound(bucketIndex(c.v)); c.v > ub {
+			t.Errorf("value %d above its bucket upper bound %d", c.v, ub)
+		}
+	}
+	// The bounds and the binning must agree bucket by bucket: each
+	// bucket's upper bound bins into that bucket, and the next value
+	// into the next one.
+	for i := 0; i < histBuckets; i++ {
+		ub := bucketUpperBound(i)
+		if got := bucketIndex(ub); got != i {
+			t.Errorf("bucketIndex(bucketUpperBound(%d)=%d) = %d", i, ub, got)
+		}
+		if i < histBuckets-1 {
+			if got := bucketIndex(ub + 1); got != i+1 {
+				t.Errorf("bucketIndex(%d+1) = %d, want %d", ub, got, i+1)
 			}
 		}
+	}
+	if ub := bucketUpperBound(histBuckets - 1); ub != math.MaxInt64 {
+		t.Errorf("overflow bucket upper bound = %d, want MaxInt64", ub)
+	}
+}
+
+// TestObserveClampsNegatives: a negative observation counts in bucket 0
+// and contributes zero to the sum, so sum and buckets stay mutually
+// consistent — it is never silently dropped.
+func TestObserveClampsNegatives(t *testing.T) {
+	c := NewCollector()
+	c.Observe(HistContactTransfers, -42)
+	c.Observe(HistContactTransfers, -1)
+	c.Observe(HistContactTransfers, 5)
+	var snap HistogramSnapshot
+	for _, h := range c.Histograms() {
+		if h.Name == HistContactTransfers.String() {
+			snap = h
+		}
+	}
+	if snap.Count != 3 {
+		t.Fatalf("count = %d, want 3 (negatives must not be dropped)", snap.Count)
+	}
+	if snap.Sum != 5 {
+		t.Fatalf("sum = %d, want 5 (negatives clamp to 0)", snap.Sum)
+	}
+	if len(snap.Buckets) != 2 || snap.Buckets[0].Le != 0 || snap.Buckets[0].Count != 2 {
+		t.Fatalf("buckets = %+v, want two negatives in bucket le=0", snap.Buckets)
 	}
 }
 

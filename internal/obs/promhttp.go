@@ -1,0 +1,372 @@
+package obs
+
+// Prometheus text-format exposition of the collector, stdlib only (the
+// repo is dependency-free by policy). The exporter renders the same
+// fixed-enum counters, log2 histograms, and phase timers the JSON run
+// manifest reports, so a scrape mid-run and the manifest written at
+// exit can be cross-checked total for total. Exposition follows the
+// text format version 0.0.4:
+//
+//   - sum counters      -> <prefix><name>_total, TYPE counter
+//   - high-water marks  -> <prefix><name>, TYPE gauge
+//   - histograms        -> <prefix><name> with cumulative _bucket{le=...},
+//     _sum and _count series, TYPE histogram (the le bounds are the
+//     inclusive bucket upper bounds pinned by TestBucketSemantics; the
+//     overflow bucket renders as le="+Inf")
+//   - phase timers      -> <prefix>phase_seconds_total{phase=...} and
+//     <prefix>phase_runs_total{phase=...}, TYPE counter
+//
+// ServeMetrics exposes the exposition over HTTP for the long-running
+// commands (dtnload, dtnnode, dtndir -metrics). ParseExposition is the
+// validating parser the end-to-end tests and obscheck -scrape use.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MetricPrefix namespaces every exported series.
+const MetricPrefix = "dtn_"
+
+// gaugeCounters marks the counters that are high-water marks rather
+// than monotone sums; they export as gauges without the _total suffix.
+var gaugeCounters = map[Counter]bool{
+	DESQueueHighWater:    true,
+	NodeCustodyHighWater: true,
+}
+
+var metricNameReplacer = strings.NewReplacer(".", "_", "-", "_")
+
+// metricName converts a manifest key ("routing.contacts") into a
+// Prometheus metric name ("dtn_routing_contacts").
+func metricName(key string) string {
+	return MetricPrefix + metricNameReplacer.Replace(key)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WritePrometheus renders the collector snapshot in Prometheus text
+// exposition format version 0.0.4.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := Counter(0); i < numCounters; i++ {
+		name := metricName(counterNames[i])
+		typ := "counter"
+		if gaugeCounters[i] {
+			typ = "gauge"
+		} else {
+			name += "_total"
+		}
+		fmt.Fprintf(bw, "# HELP %s Run total of the %s %q.\n", name, typ, counterNames[i])
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		fmt.Fprintf(bw, "%s %d\n", name, c.counters[i].Load())
+	}
+	for h := Histogram(0); h < numHistograms; h++ {
+		name := metricName(histogramNames[h])
+		fmt.Fprintf(bw, "# HELP %s Distribution of %q (log2 buckets).\n", name, histogramNames[h])
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i := 0; i < histBuckets; i++ {
+			n := c.buckets[h][i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			if ub := bucketUpperBound(i); ub != math.MaxInt64 {
+				// The overflow bucket has no finite bound; its count is
+				// folded into +Inf below.
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, ub, cum)
+			}
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", name, c.histSum[h].Load())
+		fmt.Fprintf(bw, "%s_count %d\n", name, cum)
+	}
+	secName := MetricPrefix + "phase_seconds_total"
+	runName := MetricPrefix + "phase_runs_total"
+	phases := c.Phases()
+	fmt.Fprintf(bw, "# HELP %s Wall-clock seconds accumulated per named phase.\n", secName)
+	fmt.Fprintf(bw, "# TYPE %s counter\n", secName)
+	for _, p := range phases {
+		fmt.Fprintf(bw, "%s{phase=\"%s\"} %g\n", secName, escapeLabel.Replace(p.Name), p.Seconds)
+	}
+	fmt.Fprintf(bw, "# HELP %s Completed runs per named phase.\n", runName)
+	fmt.Fprintf(bw, "# TYPE %s counter\n", runName)
+	for _, p := range phases {
+		fmt.Fprintf(bw, "%s{phase=\"%s\"} %d\n", runName, escapeLabel.Replace(p.Name), p.Count)
+	}
+	return bw.Flush()
+}
+
+// MetricsServer serves a collector as a Prometheus scrape target.
+type MetricsServer struct {
+	lis  net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeMetrics starts an HTTP server on addr (use "127.0.0.1:0" for an
+// ephemeral port) exposing /metrics for c. When c is nil the handler
+// falls back to the process-wide Active() collector at scrape time, and
+// answers 503 while collection is disabled.
+func ServeMetrics(addr string, c *Collector) (*MetricsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		col := c
+		if col == nil {
+			col = Active()
+		}
+		if col == nil {
+			http.Error(w, "collection disabled: no collector installed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = col.WritePrometheus(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "dtn metrics endpoint; scrape /metrics\n")
+	})
+	s := &MetricsServer{
+		lis:  lis,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(lis)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's listening address.
+func (s *MetricsServer) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the scrape URL.
+func (s *MetricsServer) URL() string { return "http://" + s.Addr() + "/metrics" }
+
+// Close shuts the server down and waits until the serve goroutine and
+// every connection handler have exited (the goroutine-leak gates in the
+// command tests depend on a full drain).
+func (s *MetricsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// A hung connection outlived the grace period; tear it down.
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
+
+// Sample is one parsed exposition sample: a metric name with its
+// rendered label part (possibly empty) and value.
+type Sample struct {
+	Name   string // metric name without labels
+	Labels string // raw label block including braces, "" when absent
+	Value  float64
+}
+
+// Exposition is the parsed form of a Prometheus text scrape.
+type Exposition struct {
+	Types   map[string]string // metric family name -> counter|gauge|histogram
+	Samples []Sample
+}
+
+// Value returns the value of the sample with the given full series
+// name (name plus raw label block, e.g. `dtn_phase_runs_total{phase="run"}`).
+func (e *Exposition) Value(series string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name+s.Labels == series {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition parses and validates a Prometheus text-format scrape:
+// well-formed HELP/TYPE/sample lines, no duplicate HELP or TYPE per
+// family, every sample preceded by its family's TYPE, histogram bucket
+// series cumulative with a +Inf bucket equal to _count. It returns the
+// parsed samples for counter cross-checks.
+func ParseExposition(data []byte) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	helps := make(map[string]bool)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) < 1 || fields[0] == "" {
+				return nil, fmt.Errorf("obs: line %d: malformed HELP", ln+1)
+			}
+			if helps[fields[0]] {
+				return nil, fmt.Errorf("obs: line %d: duplicate HELP for %s", ln+1, fields[0])
+			}
+			helps[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE", ln+1)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown metric type %q", ln+1, typ)
+			}
+			if _, dup := exp.Types[name]; dup {
+				return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			exp.Types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", ln+1, err)
+		}
+		if family := familyOf(s.Name, exp.Types); family == "" {
+			return nil, fmt.Errorf("obs: line %d: sample %s has no preceding TYPE", ln+1, s.Name)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := exp.validateHistograms(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// parseSample splits `name{labels} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		s.Name = line[:i]
+		s.Labels = line[i : j+1]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("sample with empty name in %q", line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// familyOf resolves a sample name to its declared metric family,
+// stripping the histogram series suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suffix); base != name {
+			if types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// validateHistograms checks every histogram family for cumulative
+// buckets and a +Inf bucket that equals _count.
+func (e *Exposition) validateHistograms() error {
+	type histState struct {
+		les    []float64
+		counts []float64
+		inf    float64
+		hasInf bool
+		count  float64
+	}
+	hists := make(map[string]*histState)
+	for name, typ := range e.Types {
+		if typ == "histogram" {
+			hists[name] = &histState{}
+		}
+	}
+	for _, s := range e.Samples {
+		if base := strings.TrimSuffix(s.Name, "_bucket"); base != s.Name && hists[base] != nil {
+			h := hists[base]
+			le := strings.TrimSuffix(strings.TrimPrefix(s.Labels, `{le="`), `"}`)
+			if le == "+Inf" {
+				h.inf, h.hasInf = s.Value, true
+				continue
+			}
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s: bad le %q", base, le)
+			}
+			h.les = append(h.les, v)
+			h.counts = append(h.counts, s.Value)
+		}
+		if base := strings.TrimSuffix(s.Name, "_count"); base != s.Name && hists[base] != nil {
+			hists[base].count = s.Value
+		}
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		if !h.hasInf {
+			return fmt.Errorf("obs: histogram %s has no +Inf bucket", name)
+		}
+		if h.inf != h.count {
+			return fmt.Errorf("obs: histogram %s: +Inf bucket %g != count %g", name, h.inf, h.count)
+		}
+		for i := 1; i < len(h.counts); i++ {
+			if h.les[i] <= h.les[i-1] {
+				return fmt.Errorf("obs: histogram %s: le bounds not increasing at %g", name, h.les[i])
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("obs: histogram %s: bucket counts not cumulative at le=%g", name, h.les[i])
+			}
+		}
+		if n := len(h.counts); n > 0 && h.counts[n-1] > h.inf {
+			return fmt.Errorf("obs: histogram %s: finite bucket exceeds +Inf", name)
+		}
+	}
+	return nil
+}

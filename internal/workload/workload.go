@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/contact"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -84,6 +85,10 @@ type driver struct {
 	pending map[string]int // message id -> record index, undelivered
 	peak    int
 	rng     *rng.Stream
+	// openLoop marks a RunOpenLoop drive: load counters and the
+	// delivery-latency histogram are emitted into the active
+	// observability collector (service mode watches them live).
+	openLoop bool
 }
 
 type pendingSend struct {
@@ -167,6 +172,11 @@ func (d *driver) OnContact(t float64, a, b contact.NodeID) {
 		}
 		d.records = append(d.records, Record{ID: id, Src: s.src, Dst: s.dst, SentAt: s.at})
 		d.pending[id] = len(d.records) - 1
+		if d.openLoop {
+			if c := obs.Active(); c != nil {
+				c.Add(obs.LoadInjected, 1)
+			}
+		}
 	}
 
 	d.nw.Meet(a, b, t)
@@ -177,6 +187,9 @@ func (d *driver) OnContact(t float64, a, b contact.NodeID) {
 			rec.Delivered = true
 			rec.DeliveredAt = t
 			delete(d.pending, id)
+			if d.openLoop {
+				ObserveDelivery(t - rec.SentAt)
+			}
 		}
 	}
 	if d.spec.TrackBuffers {
