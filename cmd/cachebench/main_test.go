@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPickSpecs(t *testing.T) {
+	specs, err := pickSpecs("fig04, fig06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].ID != "fig04" || specs[1].ID != "fig06" {
+		t.Fatalf("picked %v", specs)
+	}
+	for _, bad := range []string{"", "nope", "fig14"} {
+		if _, err := pickSpecs(bad); err == nil {
+			t.Errorf("pickSpecs(%q): want error", bad)
+		}
+	}
+}
+
+// TestRunSmallGated exercises the full harness — cold, warm, edit,
+// JSON report, gate — at small trial counts. The gate passing IS the
+// acceptance criterion: warm runs compute nothing and the edit stays
+// confined to the edited spec.
+func TestRunSmallGated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-figs", "fig04,fig06", "-runs", "10", "-security-runs", "100",
+		"-o", path, "-gate",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.WarmMisses != 0 || r.WarmTrials != 0 || !r.WarmIdentical {
+			t.Errorf("%s: warm run not fully cached: %+v", r.Spec, r)
+		}
+		if r.Spec == "fig04" && (!r.Edited || r.EditMisses == 0) {
+			t.Errorf("fig04 should have been edited and recomputed: %+v", r)
+		}
+		if r.Spec == "fig06" && (r.Edited || r.EditMisses != 0) {
+			t.Errorf("fig06 should have been untouched by the edit: %+v", r)
+		}
+	}
+}

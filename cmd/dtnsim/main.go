@@ -21,15 +21,18 @@ import (
 	"path/filepath"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
 	"repro/internal/contact"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/runner"
@@ -38,6 +41,16 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// defaultFleetID names this process's cache shard and leases:
+// hostname-pid, unique per live process on a shared directory.
+func defaultFleetID() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "host"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -66,6 +79,9 @@ func run(args []string, out io.Writer) error {
 		ckptDir     = fs.String("checkpoint", "", "directory for the run's checkpoint file (onion protocol only); completed trials persist across interruptions")
 		resume      = fs.Bool("resume", false, "load completed trials from -checkpoint and run only the remainder")
 		trialTO     = fs.Duration("trial-timeout", 0, "per-trial watchdog: a trial exceeding this is retried once, then quarantined (0 = no watchdog)")
+		cacheDir    = fs.String("cache", "", "content-addressed result cache directory (onion protocol only); identical runs reuse trials across commits, and concurrent processes form a work-stealing fleet")
+		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "fleet lease staleness bound: a chunk whose holder has not heartbeat within this is stolen")
+		fleetID     = fs.String("fleet-id", defaultFleetID(), "worker name for cache shards and leases (default hostname-pid)")
 	)
 	// -trace already means contact-trace replay here, so the runtime
 	// execution-trace profile is spelled -exectrace.
@@ -80,11 +96,33 @@ func run(args []string, out io.Writer) error {
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
 	}
+	// Persistence flags fail at validation time, before any simulation
+	// state is built: a -resume with no checkpoint, both persistence
+	// modes at once, or a directory path occupied by a regular file.
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
+	if *ckptDir != "" && *cacheDir != "" {
+		return fmt.Errorf("-checkpoint and -cache are mutually exclusive (the cache already persists and resumes trials)")
+	}
 	if *ckptDir != "" && (*protocol != "onion" || *tracePath != "") {
 		return fmt.Errorf("-checkpoint supports only the synthetic-graph onion protocol")
+	}
+	if *cacheDir != "" && (*protocol != "onion" || *tracePath != "") {
+		return fmt.Errorf("-cache supports only the synthetic-graph onion protocol")
+	}
+	if *ckptDir != "" {
+		if err := atomicio.EnsureDir(*ckptDir); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
+	}
+	if *cacheDir != "" {
+		if err := atomicio.EnsureDir(*cacheDir); err != nil {
+			return fmt.Errorf("-cache: %w", err)
+		}
+	}
+	if *leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive, got %v", *leaseTTL)
 	}
 	obsRun, err := rf.Begin("dtnsim", args)
 	if err != nil {
@@ -125,6 +163,7 @@ func run(args []string, out io.Writer) error {
 			runs: *runs, seed: *seed, frac: *compromised, faults: *faults,
 			graphPath: *graphPath, saveGraph: *saveGraph,
 			ckptDir: *ckptDir, resume: *resume,
+			cacheDir: *cacheDir, leaseTTL: *leaseTTL, fleetID: *fleetID,
 		}
 		err = runOnion(out, oc, sup, obsRun)
 	case *protocol == "runtime":
@@ -145,6 +184,9 @@ func run(args []string, out io.Writer) error {
 		if errors.Is(err, runner.ErrInterrupted) && *ckptDir != "" {
 			return fmt.Errorf("%w; rerun with -resume to continue", err)
 		}
+		if errors.Is(err, runner.ErrInterrupted) && *cacheDir != "" {
+			return fmt.Errorf("%w; rerun with the same -cache to continue", err)
+		}
 		return err
 	}
 	type manifestConfig struct {
@@ -158,12 +200,18 @@ func run(args []string, out io.Writer) error {
 		Runs        int     `json:"runs"`
 		Compromised float64 `json:"compromised"`
 		Trace       string  `json:"trace,omitempty"`
+		Cache       string  `json:"cache,omitempty"`
+		FleetID     string  `json:"fleetId,omitempty"`
 	}
-	return obsRun.Finish(manifestConfig{
+	mc := manifestConfig{
 		Protocol: *protocol, Nodes: *n, GroupSize: *g, Relays: *k, Copies: *l,
 		Spray: *spray, Deadline: *deadline, Runs: *runs, Compromised: *compromised,
-		Trace: *tracePath,
-	}, *seed, 1, *faults)
+		Trace: *tracePath, Cache: *cacheDir,
+	}
+	if *cacheDir != "" {
+		mc.FleetID = *fleetID
+	}
+	return obsRun.Finish(mc, *seed, 1, *faults)
 }
 
 // onionConfig carries runOnion's scenario parameters; the checkpoint
@@ -178,21 +226,35 @@ type onionConfig struct {
 	graphPath, saveGraph string
 	ckptDir              string
 	resume               bool
+	cacheDir             string
+	leaseTTL             time.Duration
+	fleetID              string
 }
 
-// key derives the checkpoint identity for this onion run. Unlike the
-// figure engine there is no scenario spec to hash, so every
-// outcome-affecting parameter goes into the digest directly.
-func (c onionConfig) key() checkpoint.Key {
+// digest hashes every outcome-affecting parameter of the onion run.
+// Unlike the figure engine there is no scenario spec to hash, so the
+// parameters go into the digest directly.
+func (c onionConfig) digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "dtnsim/onion|n=%d|g=%d|K=%d|L=%d|spray=%v|T=%v|runs=%d|frac=%v|faults=%v|graph=%s",
 		c.n, c.g, c.k, c.l, c.spray, c.deadline, c.runs, c.frac, c.faults, c.graphPath)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// key derives the per-run checkpoint identity: digest plus the git
+// revision, so checkpoints never survive a commit.
+func (c onionConfig) key() checkpoint.Key {
 	return checkpoint.Key{
 		GitRevision: obs.GitRevision(),
-		SpecHash:    hex.EncodeToString(h.Sum(nil)),
+		SpecHash:    c.digest(),
 		Seed:        c.seed,
 	}
 }
+
+// contentKey derives the content-addressed cache identity: the same
+// digest without the revision, so unchanged runs reuse cached trials
+// across commits.
+func (c onionConfig) contentKey() string { return c.digest() }
 
 // onionTrial is one routed message's outcome; gob-encoded into the
 // checkpoint, so every field is exported.
@@ -247,9 +309,7 @@ func runOnion(out io.Writer, c onionConfig, sup *runner.Supervisor, obsRun *obs.
 
 	var store runner.ResultStore
 	if c.ckptDir != "" {
-		if err := os.MkdirAll(c.ckptDir, 0o755); err != nil {
-			return fmt.Errorf("create checkpoint dir: %w", err)
-		}
+		// The directory itself was validated at flag-parse time.
 		path := filepath.Join(c.ckptDir, "dtnsim-onion.ckpt")
 		_, statErr := os.Stat(path)
 		var ck *checkpoint.Store
@@ -281,7 +341,7 @@ func runOnion(out io.Writer, c onionConfig, sup *runner.Supervisor, obsRun *obs.
 	// One worker: trials share the network object, whose model caches
 	// are not synchronized. Supervision still buys checkpointing, drain
 	// on SIGINT, and panic/watchdog quarantine.
-	trials, err := runner.Supervised(sup, store, "dtnsim/onion", 1, c.runs, func(i int) (onionTrial, error) {
+	trialFn := func(i int) (onionTrial, error) {
 		trial, err := nw.NewTrial(i)
 		if err != nil {
 			return onionTrial{}, err
@@ -307,9 +367,27 @@ func runOnion(out io.Writer, c onionConfig, sup *runner.Supervisor, obsRun *obs.
 			o.SecOK, o.Traceable, o.Anon = true, sec.TraceableRate, sec.PathAnonymity
 		}
 		return o, nil
-	})
-	if err != nil {
-		return err
+	}
+	var trials []onionTrial
+	if c.cacheDir != "" {
+		cs, err := resultcache.Open(c.cacheDir, c.contentKey(), "dtnsim-onion", c.seed, c.fleetID)
+		if err != nil {
+			return err
+		}
+		defer cs.Close()
+		if n := cs.Loaded(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dtnsim: cache entry %.12s holds %d completed trials\n", c.contentKey(), n)
+		}
+		d := dispatch.New(cs, dispatch.Options{Owner: c.fleetID, LeaseTTL: c.leaseTTL})
+		trials, err = dispatch.Run(d, sup, "dtnsim/onion", 1, c.runs, trialFn)
+		if err != nil {
+			return err
+		}
+	} else {
+		trials, err = runner.Supervised(sup, store, "dtnsim/onion", 1, c.runs, trialFn)
+		if err != nil {
+			return err
+		}
 	}
 	var delivered int
 	var delay, tx, modelDelivery stats.Accumulator

@@ -4,6 +4,14 @@
 // completed trial is persisted and an interrupted run resumes via
 // -resume with byte-identical final artifacts.
 //
+// With -cache instead, trials persist in a content-addressed result
+// cache keyed by the spec's numerical inputs (never the git revision
+// or presentation fields), so completed work survives commits and is
+// shared: any number of processes pointed at the same cache directory
+// split the trial range via work-stealing leases and every one emits
+// artifacts byte-identical to a single-process run. No -resume flag
+// exists for the cache — reruns resume implicitly.
+//
 // Usage:
 //
 //	figures -fig all -out results/
@@ -11,6 +19,8 @@
 //	figures -fig fig04 -manifest out.json -cpuprofile cpu.prof
 //	figures -fig fig04 -checkpoint .ckpt     # Ctrl-C safe
 //	figures -fig fig04 -checkpoint .ckpt -resume
+//	figures -fig fig04 -cache .cache         # content-addressed, shareable
+//	figures -fig fig04 -cache .cache -fleet-id worker-b  # fleet member
 package main
 
 import (
@@ -26,11 +36,23 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
+	"repro/internal/dispatch"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
+
+// defaultFleetID names this process's cache shard and leases:
+// hostname-pid, unique per live process on a shared directory.
+func defaultFleetID() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "host"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -59,6 +81,9 @@ func run(args []string, out *os.File) error {
 		ckptDir      = fs.String("checkpoint", "", "directory for per-figure checkpoint files; completed trials persist across interruptions")
 		resume       = fs.Bool("resume", false, "load completed trials from -checkpoint and run only the remainder (byte-identical to an uninterrupted run at any -workers)")
 		trialTimeout = fs.Duration("trial-timeout", 0, "per-trial watchdog: a trial exceeding this is retried once, then quarantined (0 = no watchdog)")
+		cacheDir     = fs.String("cache", "", "content-addressed result cache directory; unchanged specs reuse trials across commits, and concurrent processes on the same directory form a work-stealing fleet")
+		leaseTTL     = fs.Duration("lease-ttl", 30*time.Second, "fleet lease staleness bound: a chunk whose holder has not heartbeat within this is stolen")
+		fleetID      = fs.String("fleet-id", defaultFleetID(), "worker name for cache shards and leases (default hostname-pid)")
 	)
 	rf := obs.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -71,13 +96,27 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("create output dir: %w", err)
 		}
 	}
+	// Persistence flags are validated before any computation: a -resume
+	// with nowhere to resume from, a -checkpoint/-cache path occupied by
+	// a regular file, or both persistence modes at once all fail here.
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
+	if *ckptDir != "" && *cacheDir != "" {
+		return fmt.Errorf("-checkpoint and -cache are mutually exclusive (the cache already persists and resumes trials)")
+	}
 	if *ckptDir != "" {
-		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			return fmt.Errorf("create checkpoint dir: %w", err)
+		if err := atomicio.EnsureDir(*ckptDir); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
 		}
+	}
+	if *cacheDir != "" {
+		if err := atomicio.EnsureDir(*cacheDir); err != nil {
+			return fmt.Errorf("-cache: %w", err)
+		}
+	}
+	if *leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive, got %v", *leaseTTL)
 	}
 	obsRun, err := rf.Begin("figures", args)
 	if err != nil {
@@ -119,11 +158,11 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		if *ckptDir == "" {
+		if *ckptDir == "" && *cacheDir == "" {
 			// One engine shared across the file's specs so repeated
 			// analytical-model evaluations hit the memo cache. With
-			// checkpoints each spec needs its own store, hence its own
-			// engine.
+			// checkpoints or a result cache each spec needs its own
+			// store, hence its own engine.
 			sharedEng = scenario.NewEngine(opt)
 		}
 	} else {
@@ -191,6 +230,24 @@ func run(args []string, out *os.File) error {
 			return sharedEng.Run(spec)
 		}
 		eng := scenario.NewEngine(opt)
+		if *cacheDir != "" {
+			key, err := scenario.ContentKey(spec, opt)
+			if err != nil {
+				return nil, err
+			}
+			store, err := resultcache.Open(*cacheDir, key, spec.ID, opt.Seed, *fleetID)
+			if err != nil {
+				return nil, err
+			}
+			defer store.Close()
+			if n := store.Loaded(); n > 0 {
+				fmt.Fprintf(os.Stderr, "figures: %s: cache entry %.12s holds %d completed trials\n", spec.ID, key, n)
+			}
+			eng.SuperviseFleet(sup, dispatch.New(store, dispatch.Options{
+				Owner: *fleetID, LeaseTTL: *leaseTTL,
+			}))
+			return eng.Run(spec)
+		}
 		var store *checkpoint.Store
 		if *ckptDir != "" {
 			key, err := scenario.RunKey(spec, opt)
@@ -310,6 +367,8 @@ func run(args []string, out *os.File) error {
 		Parallel     int      `json:"parallel"`
 		Checkpoint   string   `json:"checkpoint,omitempty"`
 		Resume       bool     `json:"resume,omitempty"`
+		Cache        string   `json:"cache,omitempty"`
+		FleetID      string   `json:"fleetId,omitempty"`
 	}
 	ids := make([]string, len(specs))
 	for i := range specs {
@@ -321,6 +380,7 @@ func run(args []string, out *os.File) error {
 		Figures: ids, Runs: opt.Runs, SecurityRuns: opt.SecurityRuns,
 		TraceRuns: opt.TraceRuns, Parallel: *parallel,
 		Checkpoint: *ckptDir, Resume: *resume,
+		Cache: *cacheDir, FleetID: fleetIDForManifest(*cacheDir, *fleetID),
 	}, opt.Seed, opt.Workers, opt.FaultRate)
 	if firstErr != nil {
 		if errors.Is(firstErr, runner.ErrInterrupted) && *ckptDir != "" {
@@ -329,6 +389,15 @@ func run(args []string, out *os.File) error {
 		return firstErr
 	}
 	return finishErr
+}
+
+// fleetIDForManifest records the worker name only when a cache is in
+// use, keeping cacheless manifests byte-stable across hosts and PIDs.
+func fleetIDForManifest(cacheDir, fleetID string) string {
+	if cacheDir == "" {
+		return ""
+	}
+	return fleetID
 }
 
 // firstLine truncates multi-line error text (panic stacks) for the

@@ -5,9 +5,16 @@
 // checking manifests before archiving them next to EXPERIMENTS.md
 // numbers.
 //
+// It also inspects content-addressed result caches (the -cache
+// directories of figures/sweep/dtnsim): listing every entry, and
+// pruning entries no longer referenced by the current experiment
+// registry.
+//
 // Usage:
 //
 //	obscheck run-manifest.json [more.json ...]
+//	obscheck -cache results/.cache            # list entries
+//	obscheck -cache results/.cache -gc        # prune unregistered entries
 //
 // Exits non-zero on the first invalid manifest. With -counters, the
 // validated counter totals are printed (declaration order) for quick
@@ -18,8 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
+	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 )
 
 func main() {
@@ -32,11 +43,19 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
 	counters := fs.Bool("counters", false, "print the validated counter totals")
+	cacheDir := fs.String("cache", "", "list the entries of a content-addressed result cache directory")
+	gc := fs.Bool("gc", false, "with -cache: prune entries whose spec is not in the current experiment registry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *gc && *cacheDir == "" {
+		return fmt.Errorf("-gc requires -cache DIR")
+	}
+	if *cacheDir != "" {
+		return runCache(out, *cacheDir, *gc)
+	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: obscheck [-counters] <manifest.json> ...")
+		return fmt.Errorf("usage: obscheck [-counters] <manifest.json> ... | obscheck -cache DIR [-gc]")
 	}
 	for _, path := range fs.Args() {
 		raw, err := os.ReadFile(path)
@@ -56,4 +75,74 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	return nil
+}
+
+// runCache lists a result cache and optionally prunes entries whose
+// spec ID is not referenced by the current registry.
+func runCache(out *os.File, dir string, gc bool) error {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("-cache: %w", err)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("-cache: %s is not a directory", dir)
+	}
+	infos, err := resultcache.List(dir)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	for _, info := range infos {
+		fmt.Fprintf(out, "%-24s %.12s  seed %-6d %5d trials  %d shard(s)  age %s\n",
+			info.SpecID, info.Key, info.Seed, info.Trials, info.Shards,
+			age(now, info.Created))
+	}
+	fmt.Fprintf(out, "%d entries\n", len(infos))
+	if !gc {
+		return nil
+	}
+	pruned, err := resultcache.GC(dir, registryKeeps())
+	if err != nil {
+		return err
+	}
+	for _, info := range pruned {
+		fmt.Fprintf(out, "pruned %-24s %.12s (%d trials)\n", info.SpecID, info.Key, info.Trials)
+	}
+	fmt.Fprintf(out, "%d entries pruned\n", len(pruned))
+	return nil
+}
+
+// registryKeeps returns the GC keep-predicate: every spec in the
+// current figure + ablation registry survives, as do the ad-hoc CLI
+// families (sweep-* from cmd/sweep, dtnsim-* from cmd/dtnsim), whose
+// parameters are bound into the content key rather than the registry.
+func registryKeeps() func(specID string) bool {
+	known := make(map[string]bool)
+	for _, s := range experiment.FigureSpecs() {
+		known[s.ID] = true
+	}
+	for _, s := range experiment.AblationSpecs() {
+		known[s.ID] = true
+	}
+	return func(specID string) bool {
+		return known[specID] ||
+			strings.HasPrefix(specID, "sweep-") ||
+			strings.HasPrefix(specID, "dtnsim-")
+	}
+}
+
+// age renders a coarse human age (cache entries live for days, not
+// milliseconds).
+func age(now, created time.Time) string {
+	d := now.Sub(created)
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	case d < 24*time.Hour:
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	default:
+		return fmt.Sprintf("%dd", int(d.Hours()/24))
+	}
 }

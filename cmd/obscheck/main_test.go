@@ -1,11 +1,16 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 )
 
 func writeManifest(t *testing.T) string {
@@ -40,5 +45,100 @@ func TestObscheckRejectsCorruptManifest(t *testing.T) {
 	}
 	if err := run(nil, os.Stdout); err == nil {
 		t.Fatal("missing argument accepted")
+	}
+}
+
+// synthCache builds a cache directory with one registry-referenced
+// entry, one sweep entry, and one orphan.
+func synthCache(t *testing.T) (dir string, orphanKey string) {
+	t.Helper()
+	dir = t.TempDir()
+	mk := func(salt, spec string, trials int) string {
+		sum := sha256.Sum256([]byte(salt))
+		key := hex.EncodeToString(sum[:])
+		s, err := resultcache.Open(dir, key, spec, 1, "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < trials; i++ {
+			if err := s.Save("b", i, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		return key
+	}
+	mk("a", experiment.FigureSpecs()[0].ID, 3)
+	mk("b", "sweep-g", 2)
+	orphanKey = mk("c", "renamed-away-spec", 4)
+	return dir, orphanKey
+}
+
+func TestObscheckCacheList(t *testing.T) {
+	dir, _ := synthCache(t)
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cache", dir}, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{experiment.FigureSpecs()[0].ID, "sweep-g", "renamed-away-spec", "3 entries"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("listing missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestObscheckCacheGC(t *testing.T) {
+	dir, orphanKey := synthCache(t)
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cache", dir, "-gc"}, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "1 entries pruned") {
+		t.Fatalf("GC output:\n%s", data)
+	}
+	if _, err := os.Stat(filepath.Join(dir, orphanKey)); !os.IsNotExist(err) {
+		t.Fatal("orphan entry survived GC")
+	}
+	infos, err := resultcache.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("after GC, %d entries; want 2", len(infos))
+	}
+}
+
+func TestObscheckCacheFlagValidation(t *testing.T) {
+	if err := run([]string{"-gc"}, os.Stdout); err == nil {
+		t.Fatal("-gc without -cache accepted")
+	}
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cache", file}, os.Stdout); err == nil {
+		t.Fatal("-cache pointing at a regular file accepted")
+	}
+	if err := run([]string{"-cache", filepath.Join(t.TempDir(), "absent")}, os.Stdout); err == nil {
+		t.Fatal("-cache pointing at a missing directory accepted")
 	}
 }

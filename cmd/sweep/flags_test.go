@@ -1,0 +1,62 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPersistenceFlagValidation pins the loud flag-time failures of
+// the persistence options (see cmd/figures for the same table): a
+// mistyped path must fail before any trial runs.
+func TestPersistenceFlagValidation(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-param", "g", "-values", "1", "-n", "20", "-runs", "5"}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{
+			name:    "resume without checkpoint",
+			args:    []string{"-resume"},
+			wantErr: "-resume requires -checkpoint",
+		},
+		{
+			name:    "checkpoint at a regular file",
+			args:    []string{"-checkpoint", file},
+			wantErr: "not a directory",
+		},
+		{
+			name:    "cache at a regular file",
+			args:    []string{"-cache", file},
+			wantErr: "not a directory",
+		},
+		{
+			name:    "checkpoint and cache together",
+			args:    []string{"-checkpoint", t.TempDir(), "-cache", t.TempDir()},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name:    "non-positive lease ttl",
+			args:    []string{"-cache", t.TempDir(), "-lease-ttl", "-1s"},
+			wantErr: "-lease-ttl must be positive",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append(append([]string(nil), base...), tc.args...), io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v; want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

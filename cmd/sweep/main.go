@@ -26,13 +26,27 @@ import (
 	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
+
+// defaultFleetID names this process's cache shard and leases:
+// hostname-pid, unique per live process on a shared directory.
+func defaultFleetID() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "host"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -71,6 +85,9 @@ func run(args []string, out io.Writer) error {
 		ckptDir     = fs.String("checkpoint", "", "directory for the sweep's checkpoint file; completed trials persist across interruptions")
 		resume      = fs.Bool("resume", false, "load completed trials from -checkpoint and run only the remainder")
 		trialTO     = fs.Duration("trial-timeout", 0, "per-trial watchdog: a trial exceeding this is retried once, then quarantined (0 = no watchdog)")
+		cacheDir    = fs.String("cache", "", "content-addressed result cache directory; identical sweeps reuse trials across commits, and concurrent processes form a work-stealing fleet")
+		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "fleet lease staleness bound: a chunk whose holder has not heartbeat within this is stolen")
+		fleetID     = fs.String("fleet-id", defaultFleetID(), "worker name for cache shards and leases (default hostname-pid)")
 	)
 	rf := obs.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -94,8 +111,25 @@ func run(args []string, out io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown parameter %q (want g, K, L, c, T, or f)", *param)
 	}
+	// Persistence flags fail at validation time, before any computation.
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint DIR")
+	}
+	if *ckptDir != "" && *cacheDir != "" {
+		return fmt.Errorf("-checkpoint and -cache are mutually exclusive (the cache already persists and resumes trials)")
+	}
+	if *ckptDir != "" {
+		if err := atomicio.EnsureDir(*ckptDir); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
+	}
+	if *cacheDir != "" {
+		if err := atomicio.EnsureDir(*cacheDir); err != nil {
+			return fmt.Errorf("-cache: %w", err)
+		}
+	}
+	if *leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive, got %v", *leaseTTL)
 	}
 	obsRun, err := rf.Begin("sweep", args)
 	if err != nil {
@@ -141,14 +175,28 @@ func run(args []string, out io.Writer) error {
 		close(sigDone)
 	}()
 	eng := scenario.NewEngine(opt)
+	if *cacheDir != "" {
+		key, err := scenario.ContentKey(&spec, opt)
+		if err != nil {
+			return err
+		}
+		store, err := resultcache.Open(*cacheDir, key, spec.ID, opt.Seed, *fleetID)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if n := store.Loaded(); n > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: cache entry %.12s holds %d completed trials\n", key, n)
+		}
+		eng.SuperviseFleet(sup, dispatch.New(store, dispatch.Options{
+			Owner: *fleetID, LeaseTTL: *leaseTTL,
+		}))
+	}
 	// rs stays a nil interface when no checkpoint is in play; assigning
 	// a nil *checkpoint.Store would make it non-nil and panic downstream.
 	var rs runner.ResultStore
 	if *ckptDir != "" {
 		var store *checkpoint.Store
-		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			return fmt.Errorf("create checkpoint dir: %w", err)
-		}
 		key, err := scenario.RunKey(&spec, opt)
 		if err != nil {
 			return err
@@ -214,12 +262,18 @@ func run(args []string, out io.Writer) error {
 		Deadline    float64   `json:"deadline"`
 		Compromised float64   `json:"compromised"`
 		Runs        int       `json:"runs"`
+		Cache       string    `json:"cache,omitempty"`
+		FleetID     string    `json:"fleetId,omitempty"`
 	}
-	return obsRun.Finish(manifestConfig{
+	mc := manifestConfig{
 		Param: *param, Values: values, Nodes: *n, GroupSize: *g, Relays: *k,
 		Copies: *l, Spray: *spray, Deadline: *deadline, Compromised: *compromised,
-		Runs: *runs,
-	}, *seed, *workers, *faults)
+		Runs: *runs, Cache: *cacheDir,
+	}
+	if *cacheDir != "" {
+		mc.FleetID = *fleetID
+	}
+	return obsRun.Finish(mc, *seed, *workers, *faults)
 }
 
 // validateParamValues rejects sweep values that the integer-valued

@@ -23,6 +23,29 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	})
 }
 
+// EnsureDir verifies that path can serve as a writable directory,
+// creating it (and parents) if absent. A path that exists but is not a
+// directory is a configuration error — the flag-validation paths of
+// the CLIs call this so a -checkpoint or -cache pointing at a regular
+// file fails loudly before any computation starts, not after.
+func EnsureDir(path string) error {
+	st, err := os.Stat(path)
+	switch {
+	case err == nil:
+		if !st.IsDir() {
+			return fmt.Errorf("atomicio: %s exists and is not a directory", path)
+		}
+		return nil
+	case os.IsNotExist(err):
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return fmt.Errorf("atomicio: create directory %s: %w", path, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("atomicio: stat %s: %w", path, err)
+	}
+}
+
 // WriteTo atomically replaces path with whatever fn streams into its
 // writer. If fn (or any filesystem step) fails, the destination is left
 // untouched and the temporary file is removed.

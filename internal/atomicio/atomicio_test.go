@@ -121,3 +121,30 @@ func TestMissingDirectoryFailsWithoutArtifact(t *testing.T) {
 		t.Fatal("artifact appeared in missing directory")
 	}
 }
+
+func TestEnsureDir(t *testing.T) {
+	base := t.TempDir()
+
+	// Creates missing directories, parents included.
+	nested := filepath.Join(base, "a", "b", "cache")
+	if err := EnsureDir(nested); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(nested); err != nil || !st.IsDir() {
+		t.Fatalf("EnsureDir did not create %s: %v", nested, err)
+	}
+
+	// Idempotent on an existing directory.
+	if err := EnsureDir(nested); err != nil {
+		t.Fatalf("EnsureDir on existing directory: %v", err)
+	}
+
+	// A regular file at the path is a loud error.
+	file := filepath.Join(base, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureDir(file); err == nil {
+		t.Fatal("EnsureDir accepted a regular file")
+	}
+}

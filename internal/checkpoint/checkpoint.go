@@ -1,6 +1,13 @@
 // Package checkpoint persists completed Monte Carlo trial results
 // across process lifetimes, so an interrupted figure/sweep run can
-// resume without recomputing finished work.
+// resume without recomputing finished work. It is layered:
+//
+//   - framelog.go is the keyed frame log — the raw append-only file
+//     format (header + CRC-framed gob records) shared with the
+//     content-addressed result cache (internal/resultcache);
+//   - this file is the per-run Store: one log per (revision, spec,
+//     seed) run, opened by Create/Resume and consumed through the
+//     runner.ResultStore interface.
 //
 // # File format
 //
@@ -33,16 +40,14 @@
 // it would silently change results, so Resume rejects it with
 // ErrKeyMismatch instead. The worker count is deliberately absent from
 // the key: trial results are index-labeled (see runner.MapTrials), so
-// a run may resume at any -workers value.
+// a run may resume at any -workers value. The result cache layered on
+// the same format replaces the revision with a content hash of the
+// spec's numerical inputs — see internal/resultcache.
 package checkpoint
 
 import (
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"sync"
 
@@ -83,7 +88,7 @@ var (
 // keys compute identical trial results, so their checkpoints are
 // interchangeable; unequal keys mean resuming would corrupt results.
 type Key struct {
-	GitRevision string // obs.GitRevision() of the writing binary
+	GitRevision string // obs.GitRevision() of the writing binary; resultcache stores its content sentinel here
 	SpecHash    string // hash of the scenario spec + option bits
 	Seed        uint64 // base RNG seed
 }
@@ -115,17 +120,11 @@ type recordKey struct {
 // so a crash during creation leaves either no file or a valid empty
 // checkpoint.
 func Create(path string, key Key) (*Store, error) {
-	var hdr bytes.Buffer
-	hdr.Write(magic[:])
-	var ver [4]byte
-	binary.LittleEndian.PutUint32(ver[:], Version)
-	hdr.Write(ver[:])
-	keyFrame, err := encodeFrame(&key)
+	hdr, err := HeaderBytes(key)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: encode key: %w", err)
+		return nil, err
 	}
-	hdr.Write(keyFrame)
-	if err := atomicio.WriteFile(path, hdr.Bytes(), 0o644); err != nil {
+	if err := atomicio.WriteFile(path, hdr, 0o644); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
@@ -199,89 +198,17 @@ func Decode(data []byte) (Key, []Record, error) {
 	return key, records, nil
 }
 
-// decode parses the full file image. validEnd is the offset of the
-// last byte belonging to a complete frame — the repair point when the
-// error is ErrTruncated.
+// decode parses the full file image by composing the frame-log
+// primitives. validEnd is the offset of the last byte belonging to a
+// complete frame — the repair point when the error is ErrTruncated; it
+// is zero when the tear is inside the header itself.
 func decode(data []byte) (key Key, records []Record, validEnd int, err error) {
-	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
-		return Key{}, nil, 0, ErrNotCheckpoint
-	}
-	off := len(magic)
-	if len(data) < off+4 {
-		return Key{}, nil, 0, fmt.Errorf("%w: header ends mid-version", ErrTruncated)
-	}
-	if v := binary.LittleEndian.Uint32(data[off:]); v != Version {
-		return Key{}, nil, 0, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, Version)
-	}
-	off += 4
-
-	payload, next, err := readFrame(data, off)
+	key, off, err := DecodeHeader(data)
 	if err != nil {
-		return Key{}, nil, 0, fmt.Errorf("key frame: %w", err)
+		return Key{}, nil, 0, err
 	}
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&key); err != nil {
-		return Key{}, nil, 0, fmt.Errorf("%w: key frame gob: %v", ErrCorrupt, err)
-	}
-	off = next
-	validEnd = off
-
-	for off < len(data) {
-		payload, next, ferr := readFrame(data, off)
-		if ferr != nil {
-			// Records decoded so far are intact; report them alongside
-			// the error so Resume can repair a torn tail.
-			return key, records, validEnd, fmt.Errorf("record %d: %w", len(records), ferr)
-		}
-		var rec Record
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return key, records, validEnd, fmt.Errorf("%w: record %d gob: %v", ErrCorrupt, len(records), err)
-		}
-		records = append(records, rec)
-		off = next
-		validEnd = off
-	}
-	return key, records, validEnd, nil
-}
-
-// readFrame parses one frame at off, returning its payload and the
-// offset of the next frame. It distinguishes a frame that runs past
-// the end of the data (ErrTruncated — a torn append) from one whose
-// complete bytes are inconsistent (ErrCorrupt).
-func readFrame(data []byte, off int) (payload []byte, next int, err error) {
-	if off+8 > len(data) {
-		return nil, 0, fmt.Errorf("%w: frame header ends at byte %d", ErrTruncated, len(data))
-	}
-	length := binary.LittleEndian.Uint32(data[off:])
-	crc := binary.LittleEndian.Uint32(data[off+4:])
-	if length > maxFrame {
-		return nil, 0, fmt.Errorf("%w: frame declares impossible length %d", ErrCorrupt, length)
-	}
-	start := off + 8
-	end := start + int(length)
-	if end > len(data) {
-		return nil, 0, fmt.Errorf("%w: frame payload ends at byte %d", ErrTruncated, len(data))
-	}
-	payload = data[start:end]
-	if got := crc32.ChecksumIEEE(payload); got != crc {
-		return nil, 0, fmt.Errorf("%w: CRC %08x, frame claims %08x", ErrCorrupt, got, crc)
-	}
-	return payload, end, nil
-}
-
-// encodeFrame gob-encodes v and wraps it in a length+CRC frame.
-func encodeFrame(v any) ([]byte, error) {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return nil, err
-	}
-	if payload.Len() > maxFrame {
-		return nil, fmt.Errorf("frame payload %d bytes exceeds limit %d", payload.Len(), maxFrame)
-	}
-	frame := make([]byte, 8+payload.Len())
-	binary.LittleEndian.PutUint32(frame[0:], uint32(payload.Len()))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload.Bytes()))
-	copy(frame[8:], payload.Bytes())
-	return frame, nil
+	records, validEnd, err = DecodeRecordsFrom(data, off)
+	return key, records, validEnd, err
 }
 
 // Lookup implements runner.ResultStore over the records loaded at
@@ -298,9 +225,9 @@ func (s *Store) Lookup(batch string, trial int) ([]byte, bool) {
 // memory and issued as a single write so a kill between Saves tears at
 // most the in-flight frame, never an earlier one.
 func (s *Store) Save(batch string, trial int, data []byte) error {
-	frame, err := encodeFrame(&Record{Batch: batch, Trial: trial, Data: data})
+	frame, err := EncodeRecord(Record{Batch: batch, Trial: trial, Data: data})
 	if err != nil {
-		return fmt.Errorf("checkpoint: encode record: %w", err)
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

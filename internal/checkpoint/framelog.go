@@ -1,0 +1,141 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+)
+
+// This file is the keyed frame log: the storage primitive underneath
+// both the per-run checkpoint Store (this package) and the
+// content-addressed result cache shards (internal/resultcache). A log
+// is a header — magic, format version, one gob-encoded Key frame —
+// followed by zero or more gob-encoded Record frames, every frame
+// CRC-framed and appended with a single write so a SIGKILL tears at
+// most the trailing frame. The exported functions below are the whole
+// format: writers compose HeaderBytes + EncodeRecord, readers compose
+// DecodeHeader + DecodeRecordsFrom (incrementally, from any byte
+// offset a previous decode returned).
+
+// HeaderBytes serializes a log header (magic, version, key frame) for
+// key. Writers persist it atomically before appending record frames.
+func HeaderBytes(key Key) ([]byte, error) {
+	var hdr bytes.Buffer
+	hdr.Write(magic[:])
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], Version)
+	hdr.Write(ver[:])
+	keyFrame, err := encodeFrame(&key)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode key: %w", err)
+	}
+	hdr.Write(keyFrame)
+	return hdr.Bytes(), nil
+}
+
+// EncodeRecord serializes one record as a complete CRC frame, ready to
+// be appended to a log with a single write.
+func EncodeRecord(rec Record) ([]byte, error) {
+	frame, err := encodeFrame(&rec)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode record: %w", err)
+	}
+	return frame, nil
+}
+
+// DecodeHeader parses and validates a log header, returning the stored
+// key and the offset of the first record frame. Malformed headers map
+// to the package's typed errors (ErrNotCheckpoint, ErrVersion,
+// ErrTruncated, ErrCorrupt).
+func DecodeHeader(data []byte) (Key, int, error) {
+	var key Key
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return Key{}, 0, ErrNotCheckpoint
+	}
+	off := len(magic)
+	if len(data) < off+4 {
+		return Key{}, 0, fmt.Errorf("%w: header ends mid-version", ErrTruncated)
+	}
+	if v := binary.LittleEndian.Uint32(data[off:]); v != Version {
+		return Key{}, 0, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	off += 4
+	payload, next, err := readFrame(data, off)
+	if err != nil {
+		return Key{}, 0, fmt.Errorf("key frame: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&key); err != nil {
+		return Key{}, 0, fmt.Errorf("%w: key frame gob: %v", ErrCorrupt, err)
+	}
+	return key, next, nil
+}
+
+// DecodeRecordsFrom parses record frames starting at off (a value
+// previously returned by DecodeHeader or DecodeRecordsFrom), returning
+// the decoded records and the offset of the last byte belonging to a
+// complete frame. On a torn tail the records decoded so far are
+// returned alongside ErrTruncated — incremental readers (resultcache
+// shard refresh) treat that as "a writer is mid-append, retry from
+// validEnd later", while Resume uses validEnd as the repair point.
+func DecodeRecordsFrom(data []byte, off int) (records []Record, validEnd int, err error) {
+	validEnd = off
+	for off < len(data) {
+		payload, next, ferr := readFrame(data, off)
+		if ferr != nil {
+			// Records decoded so far are intact; report them alongside
+			// the error so callers can repair or retry a torn tail.
+			return records, validEnd, fmt.Errorf("record %d: %w", len(records), ferr)
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return records, validEnd, fmt.Errorf("%w: record %d gob: %v", ErrCorrupt, len(records), err)
+		}
+		records = append(records, rec)
+		off = next
+		validEnd = off
+	}
+	return records, validEnd, nil
+}
+
+// readFrame parses one frame at off, returning its payload and the
+// offset of the next frame. It distinguishes a frame that runs past
+// the end of the data (ErrTruncated — a torn append) from one whose
+// complete bytes are inconsistent (ErrCorrupt).
+func readFrame(data []byte, off int) (payload []byte, next int, err error) {
+	if off+8 > len(data) {
+		return nil, 0, fmt.Errorf("%w: frame header ends at byte %d", ErrTruncated, len(data))
+	}
+	length := binary.LittleEndian.Uint32(data[off:])
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if length > maxFrame {
+		return nil, 0, fmt.Errorf("%w: frame declares impossible length %d", ErrCorrupt, length)
+	}
+	start := off + 8
+	end := start + int(length)
+	if end > len(data) {
+		return nil, 0, fmt.Errorf("%w: frame payload ends at byte %d", ErrTruncated, len(data))
+	}
+	payload = data[start:end]
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return nil, 0, fmt.Errorf("%w: CRC %08x, frame claims %08x", ErrCorrupt, got, crc)
+	}
+	return payload, end, nil
+}
+
+// encodeFrame gob-encodes v and wraps it in a length+CRC frame.
+func encodeFrame(v any) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, err
+	}
+	if payload.Len() > maxFrame {
+		return nil, fmt.Errorf("frame payload %d bytes exceeds limit %d", payload.Len(), maxFrame)
+	}
+	frame := make([]byte, 8+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[8:], payload.Bytes())
+	return frame, nil
+}

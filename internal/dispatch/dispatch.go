@@ -1,0 +1,336 @@
+// Package dispatch schedules Monte Carlo trial batches across a fleet
+// of workers sharing a content-addressed result cache
+// (internal/resultcache). Workers may be goroutines of one process or
+// separate processes on a shared directory — the protocol is the same:
+//
+//  1. A batch is split into fixed trial-index chunks.
+//  2. A worker claims a chunk by creating its lease file with
+//     O_CREATE|O_EXCL in the cache entry's lease directory — the
+//     filesystem arbitrates, exactly one creator wins.
+//  3. While computing, the holder heartbeats the lease (mtime bumps).
+//     A lease whose mtime is older than the TTL belonged to a dead or
+//     stalled worker; any other worker steals it by renaming the lease
+//     file aside (rename is atomic, so exactly one stealer wins) and
+//     re-claiming the chunk.
+//  4. Completed trials are appended to the worker's own cache shard;
+//     everyone else picks them up by polling Refresh.
+//  5. When every trial of the batch is in the cache, each worker
+//     assembles the results in trial-index order.
+//
+// Correctness never rests on mutual exclusion: trials are
+// deterministic in their index (runner.MapTrials contract), so if a
+// steal races the original holder and both compute a chunk, they
+// append bit-identical records and the cache index deduplicates them.
+// Leases only prevent wasted duplicate work; the reduced output is
+// byte-identical to a single-process run at any fleet size.
+package dispatch
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resultcache"
+	"repro/internal/runner"
+)
+
+// Options tunes the dispatch protocol. The zero value of each field
+// selects the default; results are invariant to every field.
+type Options struct {
+	// Owner names this worker's shard and leases (default "anon";
+	// CLIs pass hostname-pid).
+	Owner string
+	// ChunkSize is the trial count per lease (default 32). Smaller
+	// chunks spread better across a fleet; larger ones amortize lease
+	// traffic.
+	ChunkSize int
+	// LeaseTTL is how stale a lease's mtime must be before another
+	// worker steals it (default 30s). It bounds how long a dead
+	// worker's chunk stays unclaimed.
+	LeaseTTL time.Duration
+	// Heartbeat is how often a holder refreshes its lease mtime
+	// (default LeaseTTL/4).
+	Heartbeat time.Duration
+	// Poll is the wait between cache refreshes while another worker
+	// holds the remaining chunks (default 150ms).
+	Poll time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Owner == "" {
+		o.Owner = "anon"
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 32
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 4
+	}
+	if o.Poll <= 0 {
+		o.Poll = 150 * time.Millisecond
+	}
+	return o
+}
+
+// Dispatcher runs batches against one open cache entry. Create one per
+// (spec, seed) cache entry and attach it to the scenario engine via
+// Engine.SuperviseFleet.
+type Dispatcher struct {
+	store *resultcache.Store
+	opt   Options
+}
+
+// New returns a dispatcher over an open cache entry.
+func New(store *resultcache.Store, opt Options) *Dispatcher {
+	return &Dispatcher{store: store, opt: opt.withDefaults()}
+}
+
+// Store returns the underlying cache entry.
+func (d *Dispatcher) Store() *resultcache.Store { return d.store }
+
+// chunk is one leaseable trial range [lo, hi).
+type chunk struct {
+	lo, hi int
+	done   bool
+}
+
+// Run executes one batch of trials through the fleet protocol and
+// returns the results in trial-index order, byte-identical to
+// runner.Supervised at any fleet size. fn must be deterministic in its
+// index. workers bounds this process's concurrency within a claimed
+// chunk; sup (optional) provides the watchdog, quarantine and drain
+// semantics of runner.Supervised for the chunks this worker executes.
+func Run[T any](d *Dispatcher, sup *runner.Supervisor, batch string, workers, trials int, fn func(i int) (T, error)) ([]T, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	chunks := make([]*chunk, 0, (trials+d.opt.ChunkSize-1)/d.opt.ChunkSize)
+	for lo := 0; lo < trials; lo += d.opt.ChunkSize {
+		hi := lo + d.opt.ChunkSize
+		if hi > trials {
+			hi = trials
+		}
+		chunks = append(chunks, &chunk{lo: lo, hi: hi})
+	}
+
+	c := obs.Active()
+	var executed atomic.Int64 // trials this process computed (cache misses)
+	remaining := len(chunks)
+	for remaining > 0 {
+		if sup != nil && sup.Stopping() {
+			return nil, fmt.Errorf("dispatch: batch %q: %w", batch, runner.ErrInterrupted)
+		}
+		progressed := false
+		for _, ch := range chunks {
+			if ch.done {
+				continue
+			}
+			if d.satisfied(batch, ch) {
+				ch.done = true
+				remaining--
+				progressed = true
+				continue
+			}
+			held, err := d.lease(batch, ch, c)
+			if err != nil {
+				return nil, fmt.Errorf("dispatch: batch %q chunk [%d,%d): %w", batch, ch.lo, ch.hi, err)
+			}
+			if !held {
+				continue // another live worker owns it; revisit after Refresh
+			}
+			err = execute(d, sup, batch, workers, ch, &executed, fn)
+			d.release(batch, ch)
+			if err != nil {
+				return nil, err
+			}
+			ch.done = true
+			remaining--
+			progressed = true
+		}
+		if remaining == 0 {
+			break
+		}
+		if !progressed {
+			// Everything left is leased elsewhere: wait for peers'
+			// appends (or for their leases to go stale) and rescan.
+			if sup != nil && sup.Stopping() {
+				return nil, fmt.Errorf("dispatch: batch %q: %w", batch, runner.ErrInterrupted)
+			}
+			time.Sleep(d.opt.Poll)
+		}
+		if err := d.store.Refresh(); err != nil {
+			return nil, fmt.Errorf("dispatch: batch %q: %w", batch, err)
+		}
+	}
+
+	out, err := assemble[T](d.store, batch, trials)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.Add(obs.CacheMisses, executed.Load())
+		c.Add(obs.CacheHits, int64(trials)-executed.Load())
+	}
+	return out, nil
+}
+
+// satisfied reports whether every trial of the chunk is already in the
+// cache index.
+func (d *Dispatcher) satisfied(batch string, ch *chunk) bool {
+	for i := ch.lo; i < ch.hi; i++ {
+		if !d.store.Has(batch, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// leasePath names the chunk's lease file. The batch label is hashed:
+// it contains slashes, and hashing keeps distinct labels collision-free
+// after any filename sanitization.
+func (d *Dispatcher) leasePath(batch string, ch *chunk) string {
+	sum := sha256.Sum256([]byte(batch))
+	return filepath.Join(d.store.LeaseDir(), fmt.Sprintf("%x-%d.lease", sum[:8], ch.lo))
+}
+
+// lease tries to claim the chunk: first by creating the lease file
+// exclusively, then — if the existing lease has outlived the TTL
+// without a heartbeat — by atomically renaming it aside and re-trying.
+// Exactly one worker can win each path; losing either race is not an
+// error, just "someone else is on it".
+func (d *Dispatcher) lease(batch string, ch *chunk, c *obs.Collector) (bool, error) {
+	path := d.leasePath(batch, ch)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%s\n", d.opt.Owner)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return false, fmt.Errorf("write lease: %w", werr)
+			}
+			if c != nil {
+				c.Add(obs.DispatchLeases, 1)
+			}
+			return true, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return false, fmt.Errorf("create lease: %w", err)
+		}
+		st, serr := os.Stat(path)
+		if serr != nil {
+			continue // holder released between our attempts; retry create
+		}
+		if time.Since(st.ModTime()) < d.opt.LeaseTTL {
+			return false, nil // live holder
+		}
+		// Stale: the holder died or stalled past the TTL. Rename the
+		// lease aside — atomic, so exactly one stealer proceeds — and
+		// loop back to create our own.
+		aside := path + ".stale-" + resultcache.SanitizeOwner(d.opt.Owner)
+		if rerr := os.Rename(path, aside); rerr != nil {
+			return false, nil // another stealer won; treat as held
+		}
+		os.Remove(aside)
+		if c != nil {
+			c.Add(obs.DispatchSteals, 1)
+		}
+	}
+	return false, nil
+}
+
+// release removes the chunk's lease. A missing file means a stealer
+// claimed it while we were computing (TTL shorter than the chunk);
+// harmless — both computed identical records — so it is ignored.
+func (d *Dispatcher) release(batch string, ch *chunk) {
+	os.Remove(d.leasePath(batch, ch))
+}
+
+// execute runs one claimed chunk through runner.Supervised, persisting
+// every completed trial into this worker's shard, with a heartbeat
+// keeping the lease fresh for the duration. (A free function because
+// Go methods cannot take type parameters.)
+func execute[T any](d *Dispatcher, sup *runner.Supervisor, batch string, workers int, ch *chunk, executed *atomic.Int64, fn func(i int) (T, error)) error {
+	stop := d.heartbeat(batch, ch)
+	defer stop()
+	rs := &rangeStore{store: d.store, batch: batch, lo: ch.lo, executed: executed}
+	_, err := runner.Supervised(sup, rs, batch, workers, ch.hi-ch.lo, func(i int) (T, error) {
+		return fn(ch.lo + i)
+	})
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// heartbeat bumps the lease mtime every Heartbeat until the returned
+// stop function runs. Chtimes errors are ignored: the lease may have
+// been stolen and removed, which only means duplicate work, never
+// corruption.
+func (d *Dispatcher) heartbeat(batch string, ch *chunk) (stop func()) {
+	path := d.leasePath(batch, ch)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(d.opt.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				now := time.Now()
+				_ = os.Chtimes(path, now, now)
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// rangeStore adapts the cache entry to runner.ResultStore for one
+// chunk: chunk-local index i maps to global trial index lo+i, so the
+// runner's whole quarantine/watchdog/resume machinery runs unchanged.
+// Save also counts executed trials — the process's cache-miss tally.
+type rangeStore struct {
+	store    *resultcache.Store
+	batch    string
+	lo       int
+	executed *atomic.Int64
+}
+
+func (r *rangeStore) Lookup(batch string, i int) ([]byte, bool) {
+	return r.store.Peek(r.batch, r.lo+i)
+}
+
+func (r *rangeStore) Save(batch string, i int, data []byte) error {
+	r.executed.Add(1)
+	return r.store.Save(r.batch, r.lo+i, data)
+}
+
+// assemble reads the completed batch out of the cache in trial-index
+// order. Every trial must be present; a gap here is a protocol bug,
+// not a recoverable condition.
+func assemble[T any](store *resultcache.Store, batch string, trials int) ([]T, error) {
+	out := make([]T, trials)
+	for i := 0; i < trials; i++ {
+		data, ok := store.Peek(batch, i)
+		if !ok {
+			return nil, fmt.Errorf("dispatch: batch %q: trial %d missing after all chunks completed", batch, i)
+		}
+		v, err := runner.DecodeResult[T](data)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: batch %q trial %d: %w", batch, i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package dispatch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resultcache"
+	"repro/internal/runner"
+)
+
+func contentKey(t *testing.T, salt string) string {
+	t.Helper()
+	sum := sha256.Sum256([]byte(salt))
+	return hex.EncodeToString(sum[:])
+}
+
+func openStore(t *testing.T, dir, salt, owner string) *resultcache.Store {
+	t.Helper()
+	s, err := resultcache.Open(dir, contentKey(t, salt), "spec", 1, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// trialFn returns a deterministic function of the trial index and
+// counts its invocations.
+func trialFn(calls *atomic.Int64) func(i int) (float64, error) {
+	return func(i int) (float64, error) {
+		calls.Add(1)
+		return float64(i) * 1.5, nil
+	}
+}
+
+func TestRunColdComputesAll(t *testing.T) {
+	s := openStore(t, t.TempDir(), "cold", "w")
+	d := New(s, Options{Owner: "w", ChunkSize: 4})
+	var calls atomic.Int64
+	out, err := Run(d, nil, "batch", 2, 10, trialFn(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("len(out) = %d; want 10", len(out))
+	}
+	for i, v := range out {
+		if v != float64(i)*1.5 {
+			t.Fatalf("out[%d] = %v; want %v", i, v, float64(i)*1.5)
+		}
+	}
+	if calls.Load() != 10 {
+		t.Fatalf("trial fn called %d times; want 10", calls.Load())
+	}
+}
+
+func TestRunWarmComputesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, "warm", "w1")
+	d := New(s, Options{Owner: "w1", ChunkSize: 4})
+	var calls atomic.Int64
+	want, err := Run(d, nil, "batch", 2, 10, trialFn(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second worker over the same entry must serve every trial from
+	// the cache and never invoke the trial function.
+	s2 := openStore(t, dir, "warm", "w2")
+	d2 := New(s2, Options{Owner: "w2", ChunkSize: 4})
+	var calls2 atomic.Int64
+	got, err := Run(d2, nil, "batch", 2, 10, trialFn(&calls2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls2.Load() != 0 {
+		t.Fatalf("warm run executed %d trials; want 0", calls2.Load())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("warm result %d = %v; want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunOddTrialCountAndChunkBoundary(t *testing.T) {
+	s := openStore(t, t.TempDir(), "odd", "w")
+	d := New(s, Options{Owner: "w", ChunkSize: 3})
+	out, err := Run(d, nil, "batch", 1, 7, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d; want %d", i, v, i*i)
+		}
+	}
+	if n := s.Loaded(); n != 7 {
+		t.Fatalf("store holds %d records; want 7", n)
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	s := openStore(t, t.TempDir(), "zero", "w")
+	d := New(s, Options{Owner: "w"})
+	out, err := Run(d, nil, "batch", 1, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Run(0 trials) = %v, %v; want nil, nil", out, err)
+	}
+}
+
+func TestRunPropagatesTrialError(t *testing.T) {
+	s := openStore(t, t.TempDir(), "err", "w")
+	d := New(s, Options{Owner: "w", ChunkSize: 4})
+	boom := errors.New("boom")
+	_, err := Run(d, nil, "batch", 1, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want wrapped boom", err)
+	}
+}
+
+func TestRunInterrupted(t *testing.T) {
+	s := openStore(t, t.TempDir(), "drain", "w")
+	d := New(s, Options{Owner: "w", ChunkSize: 1})
+	sup := runner.NewSupervisor(0)
+	sup.Stop()
+	_, err := Run(d, sup, "batch", 1, 4, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("err = %v; want ErrInterrupted", err)
+	}
+}
+
+// TestFleetConcurrentWorkers runs several dispatchers over the same
+// entry concurrently and asserts everyone assembles the identical
+// batch with no trial computed more than... once per worker at most —
+// and, in aggregate, every trial at least once.
+func TestFleetConcurrentWorkers(t *testing.T) {
+	dir := t.TempDir()
+	const trials = 40
+	const fleet = 4
+	var wg sync.WaitGroup
+	results := make([][]float64, fleet)
+	errs := make([]error, fleet)
+	var calls atomic.Int64
+	for w := 0; w < fleet; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("w%d", w)
+			s, err := resultcache.Open(dir, contentKey(t, "fleet"), "spec", 1, owner)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer s.Close()
+			d := New(s, Options{Owner: owner, ChunkSize: 4, Poll: 5 * time.Millisecond})
+			results[w], errs[w] = Run(d, nil, "batch", 1, trials, trialFn(&calls))
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < fleet; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d result %d = %v; worker 0 has %v", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+	if calls.Load() < trials {
+		t.Fatalf("fleet computed %d trials in aggregate; want >= %d", calls.Load(), trials)
+	}
+}
+
+// TestStaleLeaseStolen plants a lease whose mtime is far in the past —
+// the signature of a SIGKILLed worker — and asserts a new worker
+// steals it and completes the batch.
+func TestStaleLeaseStolen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, "steal", "victim")
+	d := New(s, Options{Owner: "victim", ChunkSize: 8, LeaseTTL: time.Hour})
+	// Forge the dead worker's lease for chunk [0,8) of "batch".
+	path := d.leasePath("batch", &chunk{lo: 0, hi: 8})
+	if err := os.WriteFile(path, []byte("victim\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, "steal", "stealer")
+	d2 := New(s2, Options{Owner: "stealer", ChunkSize: 8, LeaseTTL: time.Hour, Poll: 5 * time.Millisecond})
+	out, err := Run(d2, nil, "batch", 1, 8, func(i int) (int, error) { return i + 100, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+100 {
+			t.Fatalf("out[%d] = %d; want %d", i, v, i+100)
+		}
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale lease still present after steal: %v", err)
+	}
+}
+
+// TestFreshLeaseBlocksThenServes asserts a live peer's lease is not
+// stolen: the second worker waits until the holder's records appear.
+func TestFreshLeaseBlocksThenServes(t *testing.T) {
+	dir := t.TempDir()
+	holder := openStore(t, dir, "block", "holder")
+	dh := New(holder, Options{Owner: "holder", ChunkSize: 8, LeaseTTL: time.Hour})
+	path := dh.leasePath("batch", &chunk{lo: 0, hi: 8})
+	if err := os.WriteFile(path, []byte("holder\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The waiter polls; after a few polls the "holder" publishes its
+	// results and releases, and the waiter assembles without ever
+	// running a trial.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(30 * time.Millisecond)
+		for i := 0; i < 8; i++ {
+			data, err := runner.EncodeResult(i * 7)
+			if err == nil {
+				err = holder.Save("batch", i, data)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		os.Remove(path)
+	}()
+
+	waiter := openStore(t, dir, "block", "waiter")
+	dw := New(waiter, Options{Owner: "waiter", ChunkSize: 8, LeaseTTL: time.Hour, Poll: 5 * time.Millisecond})
+	var calls atomic.Int64
+	out, err := Run(dw, nil, "batch", 1, 8, func(i int) (int, error) {
+		calls.Add(1)
+		return i * 7, nil
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("waiter executed %d trials behind a live lease; want 0", calls.Load())
+	}
+	for i, v := range out {
+		if v != i*7 {
+			t.Fatalf("out[%d] = %d; want %d", i, v, i*7)
+		}
+	}
+}
+
+// TestByteIdenticalToSupervised is the determinism pin: the dispatch
+// path must hand back results gob-identical to runner.Supervised.
+func TestByteIdenticalToSupervised(t *testing.T) {
+	fn := func(i int) (float64, error) { return 1.0 / float64(i+1), nil }
+	want, err := runner.Supervised[float64](nil, nil, "batch", 3, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, t.TempDir(), "pin", "w")
+	d := New(s, Options{Owner: "w", ChunkSize: 7})
+	got, err := Run(d, nil, "batch", 3, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if wb, gb := fmt.Sprintf("%x", want[i]), fmt.Sprintf("%x", got[i]); wb != gb {
+			t.Fatalf("trial %d: dispatch %s != supervised %s", i, gb, wb)
+		}
+	}
+}

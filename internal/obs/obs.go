@@ -88,6 +88,15 @@ const (
 	LoadDelivered   // injected messages observed delivered
 	LoadSLOBreaches // epochs that missed a configured SLO
 
+	// internal/resultcache + internal/dispatch: content-addressed trial
+	// cache and work-stealing fleet dispatch (PR 9). Appended after the
+	// load block so earlier manifest consumers keep their positional
+	// prefix.
+	CacheHits      // trial results served from the content-addressed cache (prior runs or fleet peers)
+	CacheMisses    // trials this process executed because no cached result held them
+	DispatchLeases // trial-range leases acquired by this process
+	DispatchSteals // expired leases stolen back from dead or stalled workers
+
 	numCounters
 )
 
@@ -130,6 +139,10 @@ var counterNames = [numCounters]string{
 	LoadInjected:          "load.injected",
 	LoadDelivered:         "load.delivered",
 	LoadSLOBreaches:       "load.slo_breaches",
+	CacheHits:             "cache.hits",
+	CacheMisses:           "cache.misses",
+	DispatchLeases:        "dispatch.leases",
+	DispatchSteals:        "dispatch.steals",
 }
 
 // String returns the manifest key of the counter.

@@ -201,7 +201,7 @@ func Supervised[T any](sup *Supervisor, store ResultStore, batch string, workers
 			}
 			if store != nil {
 				if data, ok := store.Lookup(batch, i); ok {
-					v, err := decodeResult[T](data)
+					v, err := DecodeResult[T](data)
 					if err != nil {
 						errs[i] = fmt.Errorf("decode checkpointed result: %w", err)
 						failed.Store(true)
@@ -225,7 +225,7 @@ func Supervised[T any](sup *Supervisor, store ResultStore, batch string, workers
 				return
 			}
 			if store != nil {
-				data, serr := encodeResult(v)
+				data, serr := EncodeResult(v)
 				if serr == nil {
 					serr = store.Save(batch, i, data)
 				}
@@ -346,11 +346,13 @@ func runRecover[T any](batch string, i, att int, c *obs.Collector, trial func(i 
 	return v, err, nil
 }
 
-// encodeResult serializes one trial result for the ResultStore. Gob
+// EncodeResult serializes one trial result for a ResultStore. Gob
 // preserves float64 bit patterns exactly, so a decoded result is
 // bit-identical to the computed one — the property the byte-identical
-// resume guarantee rests on.
-func encodeResult[T any](v T) ([]byte, error) {
+// resume and cache-reuse guarantees rest on. Exported for the fleet
+// dispatch layer (internal/dispatch), which reassembles batches from
+// stored encodings written by other workers.
+func EncodeResult[T any](v T) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
 		return nil, fmt.Errorf("encode trial result: %w", err)
@@ -358,7 +360,8 @@ func encodeResult[T any](v T) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func decodeResult[T any](data []byte) (T, error) {
+// DecodeResult is the inverse of EncodeResult.
+func DecodeResult[T any](data []byte) (T, error) {
 	var v T
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
 		return v, fmt.Errorf("decode trial result: %w", err)

@@ -9,6 +9,8 @@ import (
 	"math"
 
 	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/obs"
 	"repro/internal/runner"
 )
@@ -24,11 +26,26 @@ func (e *Engine) Supervise(sup *runner.Supervisor, store runner.ResultStore) {
 	e.store = store
 }
 
+// SuperviseFleet attaches a supervisor plus a work-stealing dispatcher
+// over a content-addressed cache entry (internal/dispatch). Every
+// Monte Carlo batch then runs through the fleet protocol: trials
+// already in the cache are served, the rest are leased in chunks and
+// computed, and other processes sharing the cache directory pick up
+// each other's work. Mutually exclusive with Supervise's store — the
+// dispatcher owns persistence.
+func (e *Engine) SuperviseFleet(sup *runner.Supervisor, d *dispatch.Dispatcher) {
+	e.sup = sup
+	e.fleet = d
+}
+
 // Trials routes one of the engine's Monte Carlo batches through the
 // trial pool. batch must be a stable label — derived from the scenario
 // ID and axis indices, never from map order or timing — because it
-// keys checkpointed results across process lifetimes.
+// keys checkpointed and cached results across process lifetimes.
 func Trials[T any](e *Engine, batch string, trials int, fn func(i int) (T, error)) ([]T, error) {
+	if e.fleet != nil {
+		return dispatch.Run(e.fleet, e.sup, batch, e.opt.Workers, trials, fn)
+	}
 	return runner.Supervised(e.sup, e.store, batch, e.opt.Workers, trials, fn)
 }
 
@@ -57,4 +74,55 @@ func RunKey(s *Scenario, opt Options) (checkpoint.Key, error) {
 		SpecHash:    hex.EncodeToString(h.Sum(nil)),
 		Seed:        opt.Seed,
 	}, nil
+}
+
+// contentSpec is the canonical form hashed by ContentKey: every spec
+// and option bit that can influence a trial result, and nothing else.
+// Presentation fields — titles, axis labels and label formats, notes —
+// are deliberately absent, so editing them regenerates figures from
+// cache without recomputing a single trial. Workers is absent because
+// results are index-labeled; the git revision is absent by design —
+// that is the whole point of content addressing.
+type contentSpec struct {
+	ID           string
+	Base         core.Config
+	SeriesParam  string
+	SeriesValues []float64
+	XParam       string
+	XValues      []float64
+	Measure      Measure
+	Runs         int
+	SecurityRuns int
+	TraceRuns    int
+	FaultRate    float64
+	Seed         uint64
+}
+
+// ContentKey derives the content-addressed cache identity of running
+// spec s at options opt: a hex sha256 of the spec's evaluation-
+// affecting inputs. Two runs with equal content keys compute
+// bit-identical trial results on any revision, any worker count, any
+// fleet size — the invariant the result cache (internal/resultcache)
+// rests on. Compare RunKey, which pins the git revision and so is
+// invalidated by every commit.
+func ContentKey(s *Scenario, opt Options) (string, error) {
+	canon, err := json.Marshal(contentSpec{
+		ID:           s.ID,
+		Base:         s.Base,
+		SeriesParam:  s.Series.Param,
+		SeriesValues: s.Series.Values,
+		XParam:       s.X.Param,
+		XValues:      s.X.Values,
+		Measure:      s.Measure,
+		Runs:         opt.Runs,
+		SecurityRuns: opt.SecurityRuns,
+		TraceRuns:    opt.TraceRuns,
+		FaultRate:    opt.FaultRate,
+		Seed:         opt.Seed,
+	})
+	if err != nil {
+		return "", fmt.Errorf("scenario: content key for %s: %w", s.ID, err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
 }
