@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -224,6 +225,7 @@ type onionConfig struct {
 	seed                 uint64
 	frac, faults         float64
 	graphPath, saveGraph string
+	graphSum             string // hex sha256 of the loaded graph file's bytes ("" when synthetic)
 	ckptDir              string
 	resume               bool
 	cacheDir             string
@@ -231,13 +233,18 @@ type onionConfig struct {
 	fleetID              string
 }
 
-// digest hashes every outcome-affecting parameter of the onion run.
-// Unlike the figure engine there is no scenario spec to hash, so the
-// parameters go into the digest directly.
+// digest hashes every outcome-affecting parameter of the onion run:
+// the scalar flags, the seed (seeds drive every trial, and the cache
+// entry directory is this digest — compare scenario.ContentKey, which
+// also embeds Seed), and the sha256 of the loaded graph file's bytes
+// rather than its path, so regenerating or editing the file at the
+// same path changes the key instead of silently serving stale cached
+// trials. Unlike the figure engine there is no scenario spec to hash,
+// so the parameters go into the digest directly.
 func (c onionConfig) digest() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "dtnsim/onion|n=%d|g=%d|K=%d|L=%d|spray=%v|T=%v|runs=%d|frac=%v|faults=%v|graph=%s",
-		c.n, c.g, c.k, c.l, c.spray, c.deadline, c.runs, c.frac, c.faults, c.graphPath)
+	fmt.Fprintf(h, "dtnsim/onion|n=%d|g=%d|K=%d|L=%d|spray=%v|T=%v|runs=%d|seed=%d|frac=%v|faults=%v|graphsha=%s",
+		c.n, c.g, c.k, c.l, c.spray, c.deadline, c.runs, c.seed, c.frac, c.faults, c.graphSum)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -275,16 +282,19 @@ func runOnion(out io.Writer, c onionConfig, sup *runner.Supervisor, obsRun *obs.
 	var nw *core.Network
 	var err error
 	if c.graphPath != "" {
-		f, err := os.Open(c.graphPath)
+		raw, err := os.ReadFile(c.graphPath)
 		if err != nil {
 			return fmt.Errorf("open graph: %w", err)
 		}
-		loaded, perr := contact.ReadGraph(f)
-		if cerr := f.Close(); cerr != nil && perr == nil {
-			perr = cerr
-		}
-		if perr != nil {
-			return perr
+		// The graph determines the topology and with it every trial
+		// outcome, so the persistence keys must track the file's
+		// contents, not its path. Set graphSum before any digest()
+		// caller below (checkpoint key, cache content key).
+		sum := sha256.Sum256(raw)
+		c.graphSum = hex.EncodeToString(sum[:])
+		loaded, err := contact.ReadGraph(bytes.NewReader(raw))
+		if err != nil {
+			return err
 		}
 		cfg.Nodes = loaded.N()
 		nw, err = core.NewNetworkWithGraph(cfg, loaded)

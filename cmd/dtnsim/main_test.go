@@ -184,3 +184,108 @@ func TestOnionCheckpointResume(t *testing.T) {
 		t.Fatalf("foreign checkpoint: err = %v, want key mismatch", err)
 	}
 }
+
+// TestOnionDigestSensitivity pins the content key's inputs: every
+// outcome-affecting parameter — including the seed and the loaded
+// graph's content hash — must change the digest, while bookkeeping
+// fields (cache/checkpoint paths, fleet id, and notably the graph's
+// *path*, whose content hash already covers it) must not.
+func TestOnionDigestSensitivity(t *testing.T) {
+	base := onionConfig{
+		n: 40, g: 4, k: 2, l: 2, spray: true, deadline: 300,
+		runs: 50, seed: 1, frac: 0.1,
+	}
+	affecting := map[string]func(*onionConfig){
+		"n":        func(c *onionConfig) { c.n = 41 },
+		"g":        func(c *onionConfig) { c.g = 5 },
+		"k":        func(c *onionConfig) { c.k = 3 },
+		"l":        func(c *onionConfig) { c.l = 3 },
+		"spray":    func(c *onionConfig) { c.spray = false },
+		"deadline": func(c *onionConfig) { c.deadline = 400 },
+		"runs":     func(c *onionConfig) { c.runs = 51 },
+		"seed":     func(c *onionConfig) { c.seed = 2 },
+		"frac":     func(c *onionConfig) { c.frac = 0.2 },
+		"faults":   func(c *onionConfig) { c.faults = 0.1 },
+		"graphSum": func(c *onionConfig) { c.graphSum = "deadbeef" },
+	}
+	for name, mutate := range affecting {
+		c := base
+		mutate(&c)
+		if c.digest() == base.digest() {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+	c := base
+	c.graphPath, c.saveGraph = "elsewhere.graph", "out.graph"
+	c.ckptDir, c.cacheDir, c.fleetID = "ck", "cache", "host-1"
+	c.resume = true
+	if c.digest() != base.digest() {
+		t.Error("bookkeeping fields changed the digest")
+	}
+}
+
+// cacheEntries counts content-key directories under a cache root.
+func cacheEntries(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if de.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCacheDistinctSeedsDistinctEntries pins the fix for the seed/key
+// collision: two -cache runs differing only in -seed must open two
+// distinct cache entries. (The seed used to be omitted from the
+// content key, so the second run collided with the first entry's
+// directory and died with a key mismatch.)
+func TestCacheDistinctSeedsDistinctEntries(t *testing.T) {
+	cache := t.TempDir()
+	for _, seed := range []string{"1", "2"} {
+		args := []string{
+			"-n", "30", "-runs", "20", "-deadline", "300",
+			"-cache", cache, "-seed", seed,
+		}
+		if err := run(args, &bytes.Buffer{}); err != nil {
+			t.Fatalf("seed %s: %v", seed, err)
+		}
+	}
+	if n := cacheEntries(t, cache); n != 2 {
+		t.Fatalf("cache holds %d entries for 2 seeds; want 2", n)
+	}
+}
+
+// TestCacheGraphContentInvalidates pins the fix for path-keyed graph
+// hashing: regenerating the graph file at the same path must yield a
+// new cache entry, not silently serve trials computed on the old
+// topology.
+func TestCacheGraphContentInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "g.graph")
+	cache := filepath.Join(dir, "cache")
+	for _, genSeed := range []string{"1", "7"} {
+		gen := []string{
+			"-n", "25", "-runs", "1", "-deadline", "300",
+			"-seed", genSeed, "-save-graph", graph,
+		}
+		if err := run(gen, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		use := []string{
+			"-graph", graph, "-runs", "20", "-deadline", "300",
+			"-cache", cache,
+		}
+		if err := run(use, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cacheEntries(t, cache); n != 2 {
+		t.Fatalf("cache holds %d entries for 2 graph contents at one path; want 2", n)
+	}
+}

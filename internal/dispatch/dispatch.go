@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -249,11 +250,20 @@ func (d *Dispatcher) lease(batch string, ch *chunk, c *obs.Collector) (bool, err
 	return false, nil
 }
 
-// release removes the chunk's lease. A missing file means a stealer
-// claimed it while we were computing (TTL shorter than the chunk);
-// harmless — both computed identical records — so it is ignored.
+// release removes the chunk's lease, but only if it still names this
+// worker. A missing file, or one naming someone else, means a stealer
+// claimed the chunk while we were computing (TTL shorter than the
+// chunk) and the lease at this path is now the stealer's live claim —
+// deleting it would invite a third worker to re-claim and
+// triple-compute the chunk. Records are bit-identical either way, so
+// the owner check only prevents wasted work, never corruption.
 func (d *Dispatcher) release(batch string, ch *chunk) {
-	os.Remove(d.leasePath(batch, ch))
+	path := d.leasePath(batch, ch)
+	data, err := os.ReadFile(path)
+	if err != nil || strings.TrimSpace(string(data)) != d.opt.Owner {
+		return
+	}
+	os.Remove(path)
 }
 
 // execute runs one claimed chunk through runner.Supervised, persisting

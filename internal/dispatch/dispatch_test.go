@@ -220,6 +220,34 @@ func TestStaleLeaseStolen(t *testing.T) {
 	}
 }
 
+// TestReleaseSparesStolenLease pins release's owner check: after a
+// TTL steal, the lease at the chunk's path belongs to the stealer, and
+// the slow original holder's release must leave it in place — deleting
+// it would let a third worker re-claim the chunk and triple-compute
+// it. The holder's own lease is still removed.
+func TestReleaseSparesStolenLease(t *testing.T) {
+	s := openStore(t, t.TempDir(), "release", "holder")
+	d := New(s, Options{Owner: "holder"})
+	ch := &chunk{lo: 0, hi: 8}
+	path := d.leasePath("batch", ch)
+
+	if err := os.WriteFile(path, []byte("stealer\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d.release("batch", ch)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("release deleted the stealer's live lease: %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte("holder\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d.release("batch", ch)
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("release kept this worker's own lease: %v", err)
+	}
+}
+
 // TestFreshLeaseBlocksThenServes asserts a live peer's lease is not
 // stolen: the second worker waits until the holder's records appear.
 func TestFreshLeaseBlocksThenServes(t *testing.T) {

@@ -38,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -200,6 +201,10 @@ func (s *Store) openOwnShard() error {
 // A torn trailing frame in a shard another process is actively writing
 // is not an error: the scan stops at the last complete frame and
 // resumes from there next time.
+//
+// Only the tail past each shard's stored resume offset is read —
+// Refresh is polled by every waiting dispatch worker, so I/O per poll
+// must scale with new appends, not with total cache size.
 func (s *Store) Refresh() error {
 	paths, err := filepath.Glob(filepath.Join(s.dir, "shard-*.log"))
 	if err != nil {
@@ -209,37 +214,67 @@ func (s *Store) Refresh() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, path := range paths {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				continue // pruned by GC between glob and read
-			}
-			return fmt.Errorf("resultcache: read %s: %w", path, err)
+		if err := s.refreshShard(path); err != nil {
+			return err
 		}
-		off, seen := s.offsets[path]
-		if !seen {
-			gotKey, hdrEnd, err := checkpoint.DecodeHeader(data)
-			if err != nil {
-				if errors.Is(err, checkpoint.ErrTruncated) {
-					continue // another process is mid-create; retry later
-				}
-				return fmt.Errorf("resultcache: %s: %w", path, err)
-			}
-			if gotKey != s.key {
-				return fmt.Errorf("resultcache: %s: shard key %+v does not match entry key %+v: %w",
-					path, gotKey, s.key, checkpoint.ErrKeyMismatch)
-			}
-			off = hdrEnd
-		}
-		records, validEnd, derr := checkpoint.DecodeRecordsFrom(data, off)
-		if derr != nil && !errors.Is(derr, checkpoint.ErrTruncated) {
-			return fmt.Errorf("resultcache: %s: %w", path, derr)
-		}
-		for _, r := range records {
-			s.loaded[recordKey{r.Batch, r.Trial}] = r.Data
-		}
-		s.offsets[path] = validEnd
 	}
+	return nil
+}
+
+// refreshShard merges one shard's newly appended records into the
+// index. A shard seen before is read from its last valid frame
+// boundary only (frames are self-delimiting, so decoding can start at
+// any prior validEnd); an unseen shard is read in full so its key
+// frame can be verified against the entry key.
+func (s *Store) refreshShard(path string) error {
+	base, seen := s.offsets[path]
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // pruned by GC between glob and open
+		}
+		return fmt.Errorf("resultcache: open %s: %w", path, err)
+	}
+	defer f.Close()
+	if seen {
+		st, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("resultcache: stat %s: %w", path, err)
+		}
+		if st.Size() <= int64(base) {
+			return nil // no appends since the last scan
+		}
+		if _, err := f.Seek(int64(base), io.SeekStart); err != nil {
+			return fmt.Errorf("resultcache: seek %s: %w", path, err)
+		}
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("resultcache: read %s: %w", path, err)
+	}
+	off := 0
+	if !seen {
+		gotKey, hdrEnd, err := checkpoint.DecodeHeader(data)
+		if err != nil {
+			if errors.Is(err, checkpoint.ErrTruncated) {
+				return nil // another process is mid-create; retry later
+			}
+			return fmt.Errorf("resultcache: %s: %w", path, err)
+		}
+		if gotKey != s.key {
+			return fmt.Errorf("resultcache: %s: shard key %+v does not match entry key %+v: %w",
+				path, gotKey, s.key, checkpoint.ErrKeyMismatch)
+		}
+		off = hdrEnd
+	}
+	records, validEnd, derr := checkpoint.DecodeRecordsFrom(data, off)
+	if derr != nil && !errors.Is(derr, checkpoint.ErrTruncated) {
+		return fmt.Errorf("resultcache: %s: %w", path, derr)
+	}
+	for _, r := range records {
+		s.loaded[recordKey{r.Batch, r.Trial}] = r.Data
+	}
+	s.offsets[path] = base + validEnd
 	return nil
 }
 

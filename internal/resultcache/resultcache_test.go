@@ -163,6 +163,55 @@ func TestRefreshToleratesTornForeignTail(t *testing.T) {
 	}
 }
 
+// TestRefreshReadsOnlyTheTail pins the incremental-scan contract: once
+// a shard's prefix has been scanned, later Refreshes start from the
+// stored offset and never revisit earlier bytes — I/O per poll scales
+// with new appends, not total cache size. Scribbling over the
+// already-scanned header is therefore invisible to the live reader.
+func TestRefreshReadsOnlyTheTail(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(t, "tail")
+	a, err := Open(dir, key, "fig-1", 1, "worker-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(dir, key, "fig-1", 1, "worker-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Save("batch", 0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destroy the magic bytes of b's already-scanned header in place.
+	// A reader that re-read the file from the start would now fail;
+	// a tail-only reader never looks back.
+	shard := filepath.Join(dir, key, "shard-worker-b.log")
+	f, err := os.OpenFile(shard, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := b.Save("batch", 1, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Refresh(); err != nil {
+		t.Fatalf("Refresh re-read the scanned prefix: %v", err)
+	}
+	if got, ok := a.Peek("batch", 1); !ok || string(got) != "second" {
+		t.Fatalf("tail append missed: Peek = %q, %v; want second, true", got, ok)
+	}
+}
+
 func TestReopenRepairsOwnTornTail(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey(t, "self-repair")
