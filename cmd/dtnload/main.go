@@ -20,6 +20,21 @@
 //	dtnload -mode cluster -nodes 5 -group 1 -rate 0.5 -metrics 127.0.0.1:9900
 //	dtnload -wall 30s -rate 2 -metrics 127.0.0.1:9900   # epochs until wall time is up
 //	dtnload -bench BENCH_load.json -bench-rates 0.5,1,2 -gate 0.5
+//	dtnload -mode cluster -nodes 5 -group 2 -chaos -chaos-seed 42 -chaos-plan plan.json
+//
+// With -chaos (cluster mode only) every connection runs through the
+// seed-driven turbulence layer — latency, throttling, resets, stalls,
+// tears, asymmetric partitions — and each epoch executes the plan's
+// scheduled directory blackouts: the directory is crashed at the
+// planned point of the contact timeline, the epoch keeps replaying on
+// cached membership, and the directory returns at a bumped incarnation
+// with every node revalidating against it. The full chaos plan is a
+// function of -chaos-seed alone (byte-identical JSON for the same
+// seed), is embedded in the -manifest, and can be dumped with
+// -chaos-plan for CI determinism byte-compares. Cluster epochs always
+// finish with the invariant checker (exactly-once, custody
+// conservation, ticket bound, share threshold, incarnation
+// monotonicity); any violation fails the run.
 package main
 
 import (
@@ -36,7 +51,9 @@ import (
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
+	"repro/internal/cluster/invariant"
 	"repro/internal/contact"
 	"repro/internal/fault"
 	"repro/internal/node"
@@ -84,6 +101,14 @@ type options struct {
 	slo     workload.SLO
 	wall    time.Duration
 	timeout time.Duration
+
+	chaosOn       bool
+	chaosSeed     uint64
+	joinWait      time.Duration
+	contactBudget time.Duration
+	// plan is armed once per run from -chaos-seed; every cluster epoch
+	// realizes the same schedule with a fresh runtime clock.
+	plan *chaos.Plan
 }
 
 func (o options) arrivals() workload.Arrivals {
@@ -149,12 +174,17 @@ func run(args []string, out io.Writer, ready func(metricsURL string)) error {
 	fs.Float64Var(&o.slo.MaxP99, "slo-p99", 0, "SLO: maximum p99 delivery latency (sim minutes, 0 = unchecked)")
 	fs.DurationVar(&o.wall, "wall", 0, "keep running epochs until this much wall time has elapsed (0 = one epoch)")
 	fs.DurationVar(&o.timeout, "timeout", 10*time.Second, "cluster mode: per-connection socket timeout")
+	fs.BoolVar(&o.chaosOn, "chaos", false, "cluster mode: run every connection through the seed-driven turbulence layer and execute scheduled directory blackouts")
+	fs.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "chaos schedule seed (0 = use -seed); the full plan is a function of this number alone")
+	fs.DurationVar(&o.joinWait, "join-wait", 2*time.Second, "cluster mode: directory (re)registration retry window per attempt burst")
+	fs.DurationVar(&o.contactBudget, "contact-budget", 0, "cluster mode: wall-clock cap per contact connection (0 = uncapped)")
 	var (
-		metricsAddr  = fs.String("metrics", "", "serve Prometheus /metrics on this address for the lifetime of the run")
-		manifestPath = fs.String("manifest", "", "write the observability run manifest here on exit")
-		benchPath    = fs.String("bench", "", "benchmark mode: write a BENCH_load.json result matrix here and exit")
-		benchRates   = fs.String("bench-rates", "0.5,1,2", "comma-separated target rates for -bench")
-		gate         = fs.Float64("gate", 0, "bench gate: churn delivery ratio must stay >= gate x the same-rate fault-free ratio (0 = off)")
+		metricsAddr   = fs.String("metrics", "", "serve Prometheus /metrics on this address for the lifetime of the run")
+		manifestPath  = fs.String("manifest", "", "write the observability run manifest here on exit")
+		chaosPlanPath = fs.String("chaos-plan", "", "write the armed chaos plan JSON here (requires -chaos)")
+		benchPath     = fs.String("bench", "", "benchmark mode: write a BENCH_load.json result matrix here and exit")
+		benchRates    = fs.String("bench-rates", "0.5,1,2", "comma-separated target rates for -bench")
+		gate          = fs.Float64("gate", 0, "bench gate: churn delivery ratio must stay >= gate x the same-rate fault-free ratio (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,12 +195,34 @@ func run(args []string, out io.Writer, ready func(metricsURL string)) error {
 	if o.mode == "cluster" && o.crash > 0 {
 		return fmt.Errorf("-crash is sim-only: cluster churn is driven by daemon Kill/Restart, not a probability")
 	}
+	if o.chaosOn && o.mode != "cluster" {
+		return fmt.Errorf("-chaos is cluster-only: turbulence wraps live TCP connections, the sim has its own fault layer (-crash)")
+	}
+	if *chaosPlanPath != "" && !o.chaosOn {
+		return fmt.Errorf("-chaos-plan requires -chaos")
+	}
 
 	// Service mode always collects: live metrics are the point. The
 	// batch commands keep their obs-off default; this one is obs-on.
 	col := obs.NewCollector()
 	obs.Install(col)
 	startedAt := time.Now()
+
+	if o.chaosOn {
+		cs := o.chaosSeed
+		if cs == 0 {
+			cs = o.seed
+		}
+		o.plan = chaos.NewPlan(chaos.Config{Seed: cs, Nodes: o.nodes})
+		fmt.Fprintf(out, "dtnload: chaos armed (seed %d: %d slots, %d partitions, %d blackouts, relent after %d)\n",
+			cs, len(o.plan.Slots), len(o.plan.Partitions), len(o.plan.Blackouts), o.plan.RelentAfter)
+		if *chaosPlanPath != "" {
+			if err := atomicio.WriteFile(*chaosPlanPath, append(o.plan.JSON(), '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "dtnload: chaos plan written to %s\n", *chaosPlanPath)
+		}
+	}
 
 	var ms *obs.MetricsServer
 	if *metricsAddr != "" {
@@ -199,6 +251,11 @@ func run(args []string, out io.Writer, ready func(metricsURL string)) error {
 
 	if *manifestPath != "" {
 		m := obs.BuildManifest(col, "dtnload", args, startedAt)
+		if o.plan != nil {
+			// The full schedule rides in the manifest's config block, so
+			// a violated run reproduces from the manifest alone.
+			m.Config = chaosConfigBlock{Chaos: o.plan}
+		}
 		if err := m.WriteFile(*manifestPath); err != nil {
 			return err
 		}
@@ -304,19 +361,34 @@ func (o options) specWithSeed(seed uint64) workload.OpenLoopSpec {
 	return s
 }
 
+// chaosConfigBlock is the manifest's command-specific config block
+// when -chaos is armed.
+type chaosConfigBlock struct {
+	Chaos *chaos.Plan `json:"chaos"`
+}
+
 // runClusterEpoch drives a live loopback cluster: every hand-off a
 // real TCP connection, the contact process realized as a trace so the
 // drive order is deterministic. Arrivals are injected open-loop at
-// their scheduled times as the trace advances past them.
+// their scheduled times as the trace advances past them. Every epoch
+// ends with the invariant checker; under -chaos the epoch also
+// executes the plan's directory blackouts along the contact timeline.
 func runClusterEpoch(o options, seed uint64) (*workload.OpenLoopResult, error) {
+	var ch *chaos.Chaos
+	if o.plan != nil {
+		ch = chaos.FromPlan(o.plan)
+	}
 	c, err := cluster.Launch(cluster.Config{
-		Nodes:        o.nodes,
-		GroupSize:    o.group,
-		Seed:         seed,
-		BufferLimit:  o.buffer,
-		ReofferLimit: o.reoffer,
-		Spray:        o.spray,
-		Timeout:      o.timeout,
+		Nodes:         o.nodes,
+		GroupSize:     o.group,
+		Seed:          seed,
+		BufferLimit:   o.buffer,
+		ReofferLimit:  o.reoffer,
+		Spray:         o.spray,
+		Timeout:       o.timeout,
+		ContactBudget: o.contactBudget,
+		JoinWait:      o.joinWait,
+		Chaos:         ch,
 	})
 	if err != nil {
 		return nil, err
@@ -375,9 +447,14 @@ func runClusterEpoch(o options, seed uint64) (*workload.OpenLoopResult, error) {
 		return nil
 	}
 
+	drill := newBlackoutRunner(ch, len(tr.Contacts))
+
 	next := 0
 	peak := 0
-	for _, ct := range tr.Contacts {
+	for i, ct := range tr.Contacts {
+		if err := drill.step(c, i); err != nil {
+			return nil, err
+		}
 		for next < len(msgs) && msgs[next].at <= ct.Start {
 			if err := inject(msgs[next]); err != nil {
 				return nil, err
@@ -415,6 +492,22 @@ func runClusterEpoch(o options, seed uint64) (*workload.OpenLoopResult, error) {
 			return nil, err
 		}
 	}
+	// A blackout scheduled to outlast the contact trace still ends with
+	// the directory restarted and the fleet reconciled.
+	if err := drill.finish(c); err != nil {
+		return nil, err
+	}
+
+	// Always-on safety: a cluster epoch that breaks exactly-once,
+	// conservation, the ticket bound, the share threshold, or
+	// incarnation monotonicity fails the run — chaotic or not.
+	spec := invariant.Spec{Messages: make([]invariant.Message, len(msgs))}
+	for i, m := range msgs {
+		spec.Messages[i] = invariant.Message{ID: m.id, Src: m.src, Dst: m.dst, Copies: o.copies}
+	}
+	if rep := invariant.Check(c, spec); !rep.Clean() {
+		return nil, rep.Err()
+	}
 
 	res := &workload.OpenLoopResult{
 		Records:      records,
@@ -433,6 +526,85 @@ func runClusterEpoch(o options, seed uint64) (*workload.OpenLoopResult, error) {
 	}
 	res.OfferedRate = float64(res.Injected) / o.horizon
 	return res, nil
+}
+
+// blackoutRunner realizes the plan's directory blackouts — expressed
+// as run fractions — on the contact-index axis, the epoch's only
+// deterministic notion of progress. At an outage's start index the
+// directory is crashed and a node's bounded revalidation is proven to
+// fail (this is where retry.attempts and breaker.opens accrue); at its
+// end index the directory restarts at a bumped incarnation and the
+// whole fleet reconciles.
+type blackoutRunner struct {
+	outages []dirOutage
+	dark    bool
+}
+
+// dirOutage is one planned blackout mapped to contact indices.
+type dirOutage struct{ start, end int }
+
+func newBlackoutRunner(ch *chaos.Chaos, contacts int) *blackoutRunner {
+	r := &blackoutRunner{}
+	if ch == nil || contacts == 0 {
+		return r
+	}
+	for _, b := range ch.Blackouts() {
+		start := int(b.StartFrac * float64(contacts))
+		end := int(b.EndFrac * float64(contacts))
+		if end <= start {
+			end = start + 1
+		}
+		r.outages = append(r.outages, dirOutage{start: start, end: end})
+	}
+	return r
+}
+
+func (r *blackoutRunner) step(c *cluster.Cluster, i int) error {
+	if len(r.outages) == 0 {
+		return nil
+	}
+	switch o := r.outages[0]; {
+	case !r.dark && i >= o.start:
+		c.Dir().Stop()
+		r.dark = true
+		if col := obs.Active(); col != nil {
+			col.Add(obs.ChaosBlackouts, 1)
+		}
+		// The join window must fail against a dark directory, not hang
+		// — and the failed attempt must not burn the node's incarnation.
+		d := c.Nodes()[0]
+		before := d.Incarnation()
+		if err := d.Revalidate(); err == nil {
+			return fmt.Errorf("blackout drill: revalidation succeeded against a dark directory")
+		}
+		if d.Incarnation() != before {
+			return fmt.Errorf("blackout drill: failed revalidation burned incarnation %d -> %d", before, d.Incarnation())
+		}
+	case r.dark && i >= o.end:
+		return r.restore(c)
+	}
+	return nil
+}
+
+// restore brings the directory back and reconciles the fleet.
+func (r *blackoutRunner) restore(c *cluster.Cluster) error {
+	if err := c.Dir().Restart(); err != nil {
+		return fmt.Errorf("blackout drill: restart directory: %w", err)
+	}
+	if err := c.Revalidate(); err != nil {
+		return fmt.Errorf("blackout drill: reconcile after blackout: %w", err)
+	}
+	r.dark = false
+	r.outages = r.outages[1:]
+	return nil
+}
+
+// finish closes out an outage still open when the trace ends.
+func (r *blackoutRunner) finish(c *cluster.Cluster) error {
+	if r.dark {
+		return r.restore(c)
+	}
+	return nil
 }
 
 // benchResult is one row of the BENCH_load.json matrix.

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 )
 
@@ -56,6 +57,105 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-bench", filepath.Join(t.TempDir(), "b.json"), "-bench-rates", "zero"}, &buf, nil); err == nil {
 		t.Error("malformed -bench-rates accepted")
+	}
+	if err := run([]string{"-mode", "sim", "-chaos"}, &buf, nil); err == nil {
+		t.Error("sim mode accepted -chaos")
+	}
+	if err := run([]string{"-mode", "cluster", "-chaos-plan", filepath.Join(t.TempDir(), "p.json")}, &buf, nil); err == nil {
+		t.Error("-chaos-plan accepted without -chaos")
+	}
+}
+
+// TestClusterChaosSoak: one cluster epoch under -chaos must survive the
+// full turbulence schedule — injected connection faults, partitions,
+// and a mid-epoch directory blackout — pass the always-on invariant
+// checker, dump a chaos plan that is a pure function of -chaos-seed,
+// and account the whole ordeal in the manifest's chaos/retry counter
+// families.
+func TestClusterChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a TCP cluster")
+	}
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "manifest.json")
+	planPath := filepath.Join(dir, "plan.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-mode", "cluster", "-nodes", "6", "-group", "2",
+		"-relays", "1", "-copies", "2",
+		"-rate", "1", "-horizon", "30", "-drain", "60",
+		"-ict-min", "1", "-ict-max", "5",
+		"-timeout", "10s", "-join-wait", "500ms",
+		"-chaos", "-chaos-seed", "42", "-chaos-plan", planPath,
+		"-manifest", manifestPath,
+	}, &buf, nil)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "chaos armed (seed 42") {
+		t.Errorf("chaos banner missing:\n%s", buf.String())
+	}
+
+	// Determinism: the dumped plan is exactly NewPlan(seed, nodes) —
+	// worker count, timing, and the epoch's outcome never leak into it.
+	gotPlan, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPlan := append(chaos.NewPlan(chaos.Config{Seed: 42, Nodes: 6}).JSON(), '\n')
+	if !bytes.Equal(gotPlan, wantPlan) {
+		t.Errorf("dumped plan is not the deterministic schedule for seed 42:\n got %s\nwant %s", gotPlan, wantPlan)
+	}
+
+	raw, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ValidateManifestBytes(raw)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	// The same plan rides in the manifest's config block.
+	var withConfig struct {
+		Config struct {
+			Chaos json.RawMessage `json:"chaos"`
+		} `json:"config"`
+	}
+	if err := json.Unmarshal(raw, &withConfig); err != nil {
+		t.Fatal(err)
+	}
+	var embedded, direct chaos.Plan
+	if err := json.Unmarshal(withConfig.Config.Chaos, &embedded); err != nil {
+		t.Fatalf("manifest config block has no chaos plan: %v", err)
+	}
+	if err := json.Unmarshal(bytes.TrimSuffix(gotPlan, []byte("\n")), &direct); err != nil {
+		t.Fatal(err)
+	}
+	if embedded.Seed != 42 || len(embedded.Slots) != len(direct.Slots) || len(embedded.Blackouts) != len(direct.Blackouts) {
+		t.Errorf("manifest chaos plan diverges from the -chaos-plan dump: %+v", embedded)
+	}
+
+	// The turbulence and self-healing families must all show activity:
+	// slot 0 is non-clean so the very first connection injects, the
+	// blackout drill crashes the directory at least once, and the
+	// proven-to-fail revalidation against the dark directory costs
+	// retries and trips a breaker.
+	for _, name := range []string{"chaos.injected", "chaos.blackouts", "retry.attempts", "breaker.opens"} {
+		v, ok := m.Counter(name)
+		if !ok {
+			t.Errorf("manifest missing counter %q", name)
+			continue
+		}
+		if v == 0 {
+			t.Errorf("%s = 0 after a chaos soak, want nonzero", name)
+		}
+	}
+	// Chaos may delay deliveries, never lose the run: load flowed.
+	if v, _ := m.Counter("load.injected"); v == 0 {
+		t.Error("chaos soak injected nothing")
+	}
+	if v, _ := m.Counter("load.delivered"); v == 0 {
+		t.Error("chaos soak delivered nothing")
 	}
 }
 

@@ -10,6 +10,10 @@
 //
 //	dtnnode -id 0 -dir 127.0.0.1:7700
 //	dtnnode -id 3 -dir 127.0.0.1:7700 -listen 127.0.0.1:7713 -buffer 64 -spray=false
+//
+// Startup order is free: a node started before its directory keeps
+// retrying the registration with jittered backoff for -join-wait
+// (default 15s) and comes up the moment the directory is listening.
 package main
 
 import (
@@ -61,13 +65,15 @@ func serveMetricsFlag(addr, command string, out io.Writer) (func(), error) {
 func run(args []string, out io.Writer, ready func(addr string)) error {
 	fs := flag.NewFlagSet("dtnnode", flag.ContinueOnError)
 	var (
-		id      = fs.Int("id", -1, "node id (required, matches the directory's population)")
-		dirAddr = fs.String("dir", "", "directory service address (required)")
-		listen  = fs.String("listen", "127.0.0.1:0", "listen address")
-		buffer  = fs.Int("buffer", 0, "custody buffer limit (0 = unlimited)")
-		spray   = fs.Bool("spray", true, "offer spray copies to non-members while tickets remain")
-		timeout = fs.Duration("timeout", 10*time.Second, "per-connection socket timeout")
-		metrics = fs.String("metrics", "", "serve live Prometheus /metrics on this address (enables the observability collector)")
+		id       = fs.Int("id", -1, "node id (required, matches the directory's population)")
+		dirAddr  = fs.String("dir", "", "directory service address (required)")
+		listen   = fs.String("listen", "127.0.0.1:0", "listen address")
+		buffer   = fs.Int("buffer", 0, "custody buffer limit (0 = unlimited)")
+		spray    = fs.Bool("spray", true, "offer spray copies to non-members while tickets remain")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-connection socket timeout")
+		budget   = fs.Duration("contact-budget", 0, "wall-clock cap per contact connection (0 = uncapped)")
+		joinWait = fs.Duration("join-wait", 15*time.Second, "keep retrying the directory registration with backoff for this long (0 = a single attempt)")
+		metrics  = fs.String("metrics", "", "serve live Prometheus /metrics on this address (enables the observability collector)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,12 +90,14 @@ func run(args []string, out io.Writer, ready func(addr string)) error {
 	}
 	defer closeMetrics()
 	d, err := cluster.StartDaemon(cluster.DaemonConfig{
-		ID:          *id,
-		DirAddr:     *dirAddr,
-		ListenAddr:  *listen,
-		BufferLimit: *buffer,
-		Spray:       *spray,
-		Timeout:     *timeout,
+		ID:            *id,
+		DirAddr:       *dirAddr,
+		ListenAddr:    *listen,
+		BufferLimit:   *buffer,
+		Spray:         *spray,
+		Timeout:       *timeout,
+		ContactBudget: *budget,
+		JoinWait:      *joinWait,
 	})
 	if err != nil {
 		return err

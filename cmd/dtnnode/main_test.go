@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -92,8 +93,71 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-id", "0"}, &out, nil); err == nil || !strings.Contains(err.Error(), "-dir") {
 		t.Fatalf("missing -dir not rejected: %v", err)
 	}
-	if err := run([]string{"-id", "0", "-dir", "127.0.0.1:1", "-timeout", "100ms"}, &out, nil); err == nil {
+	if err := run([]string{"-id", "0", "-dir", "127.0.0.1:1", "-timeout", "100ms", "-join-wait", "100ms"}, &out, nil); err == nil {
 		t.Fatal("unreachable directory not surfaced")
+	}
+}
+
+// TestNodeBeforeDirStartupOrder: the reverse-order regression. A
+// dtnnode main launched before its dtndir directory exists must keep
+// retrying within -join-wait and serve normally once the directory
+// appears — fleet orchestration must not need startup sequencing.
+func TestNodeBeforeDirStartupOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP daemons")
+	}
+	// Reserve the directory's address before the directory exists.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirAddr := rsv.Addr().String()
+	_ = rsv.Close()
+
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errCh <- run([]string{
+			"-id", "0", "-dir", dirAddr, "-join-wait", "10s",
+		}, &out, func(addr string) { addrCh <- addr })
+	}()
+
+	// The node must still be retrying, not dead.
+	time.Sleep(200 * time.Millisecond)
+	select {
+	case err := <-errCh:
+		t.Fatalf("dtnnode gave up before the directory started: %v\n%s", err, out.String())
+	default:
+	}
+
+	dir, err := cluster.NewDir(cluster.DirConfig{Nodes: 3, GroupSize: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Start(dirAddr); err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+
+	var nodeAddr string
+	select {
+	case nodeAddr = <-addrCh:
+	case err := <-errCh:
+		t.Fatalf("dtnnode exited instead of joining the late directory: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("dtnnode never joined the late-started directory")
+	}
+	if got := dir.Members(); got != 1 {
+		t.Fatalf("directory has %d members, want 1", got)
+	}
+	co := cluster.NewCoordinator(0)
+	defer co.Close()
+	if err := co.Quit(nodeAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("dtnnode failed after the reversed startup: %v\n%s", err, out.String())
 	}
 }
 

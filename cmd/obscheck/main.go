@@ -66,12 +66,51 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		if err := checkChaosFamilies(m); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
 		fmt.Fprintf(out, "%s: valid (version %d, command %q, revision %s, %d phases, %.2fs wall)\n",
 			path, m.Version, m.Command, m.GitRevision, len(m.Phases), m.WallSeconds)
 		if *counters {
 			for _, c := range m.Counters {
 				fmt.Fprintf(out, "  %-36s %d\n", c.Name, c.Value)
 			}
+		}
+	}
+	return nil
+}
+
+// chaosFamilies are the counters whose totals are coupled to the
+// -chaos flag of the run that wrote the manifest.
+var chaosFamilies = []string{"chaos.injected", "chaos.blackouts", "retry.attempts", "breaker.opens"}
+
+// checkChaosFamilies cross-checks the turbulence and self-healing
+// counter families against the recorded invocation. A run invoked with
+// -chaos that never injected a fault, executed a blackout, retried, or
+// tripped a breaker did not actually exercise the chaos layer; a
+// chaos-free run with nonzero totals in any of these families has
+// turbulence leaking into a clean experiment. Either way the manifest
+// is lying about the run and fails validation.
+func checkChaosFamilies(m *obs.Manifest) error {
+	chaotic := false
+	for _, a := range m.Args {
+		switch strings.TrimLeft(a, "-") {
+		case "chaos", "chaos=true":
+			chaotic = true
+		}
+	}
+	for _, name := range chaosFamilies {
+		v, ok := m.Counter(name)
+		if !ok {
+			// Counter-set completeness is ValidateManifestBytes's job;
+			// older manifests without the family are out of scope here.
+			continue
+		}
+		if chaotic && v == 0 {
+			return fmt.Errorf("chaos run recorded %s = 0, want nonzero", name)
+		}
+		if !chaotic && v != 0 {
+			return fmt.Errorf("chaos-free run recorded %s = %d, want 0", name, v)
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -32,6 +33,57 @@ func TestObscheckAcceptsValidManifest(t *testing.T) {
 	path := writeManifest(t)
 	if err := run([]string{"-counters", path}, os.Stdout); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// writeChaosManifest builds a manifest as a chaos or chaos-free run
+// would, with the given totals in the turbulence/self-healing families.
+func writeChaosManifest(t *testing.T, args []string, injected, blackouts, retries, opens int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	col := obs.NewCollector()
+	col.Add(obs.ChaosInjected, injected)
+	col.Add(obs.ChaosBlackouts, blackouts)
+	col.Add(obs.RetryAttempts, retries)
+	col.Add(obs.BreakerOpens, opens)
+	m := obs.BuildManifest(col, "dtnload", args, time.Now())
+	m.Seed, m.Workers = 1, 1
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestObscheckChaosFamilies: the chaos/retry counter families must be
+// consistent with the recorded invocation — nonzero under -chaos, zero
+// without it.
+func TestObscheckChaosFamilies(t *testing.T) {
+	chaosArgs := []string{"-mode", "cluster", "-chaos", "-chaos-seed", "42"}
+	cleanArgs := []string{"-mode", "cluster"}
+
+	// A real chaos run and a real clean run both validate.
+	if err := run([]string{writeChaosManifest(t, chaosArgs, 10, 1, 5, 2)}, os.Stdout); err != nil {
+		t.Fatalf("consistent chaos manifest rejected: %v", err)
+	}
+	if err := run([]string{writeChaosManifest(t, cleanArgs, 0, 0, 0, 0)}, os.Stdout); err != nil {
+		t.Fatalf("consistent chaos-free manifest rejected: %v", err)
+	}
+
+	// A chaos run in which any family stayed silent did not exercise
+	// the layer it claims to have run under.
+	for _, m := range []string{
+		writeChaosManifest(t, chaosArgs, 0, 1, 5, 2),
+		writeChaosManifest(t, chaosArgs, 10, 0, 5, 2),
+		writeChaosManifest(t, chaosArgs, 10, 1, 0, 2),
+		writeChaosManifest(t, chaosArgs, 10, 1, 5, 0),
+	} {
+		if err := run([]string{m}, os.Stdout); err == nil || !strings.Contains(err.Error(), "want nonzero") {
+			t.Errorf("silent chaos family accepted: %v", err)
+		}
+	}
+	// Turbulence leaking into a chaos-free run is equally a lie.
+	if err := run([]string{writeChaosManifest(t, cleanArgs, 3, 0, 0, 0)}, os.Stdout); err == nil || !strings.Contains(err.Error(), "want 0") {
+		t.Errorf("chaos-free manifest with injected faults accepted: %v", err)
 	}
 }
 

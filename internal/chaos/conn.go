@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected wraps every failure a faultConn manufactures, so callers
+// (and tests) can tell injected weather from genuine network errors.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// faultConn applies one Slot profile to a connection. Delay and
+// throttle preserve every byte; reset, stall, and tear kill the
+// connection during its first writes (CutAfter is capped below the
+// smallest hello frame), so a faulted contact attempt never crosses
+// the offer/verdict boundary where custody ambiguity lives.
+type faultConn struct {
+	net.Conn
+	slot Slot
+
+	mu       sync.Mutex
+	written  int  // bytes written, for the cut point
+	delayedR bool // delay already charged on the read side
+	delayedW bool // delay already charged on the write side
+}
+
+func newFaultConn(conn net.Conn, slot Slot) net.Conn {
+	return &faultConn{Conn: conn, slot: slot}
+}
+
+// throttleChunk is the pacing quantum: bytes cross in chunks of this
+// size with a sleep per chunk sized to the slot's Bps.
+const throttleChunk = 512
+
+func (c *faultConn) pace(n int) {
+	if c.slot.Kind == KindThrottle && c.slot.Bps > 0 && n > 0 {
+		time.Sleep(time.Duration(float64(n) / float64(c.slot.Bps) * float64(time.Second)))
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	switch c.slot.Kind {
+	case KindDelay:
+		c.mu.Lock()
+		first := !c.delayedR
+		c.delayedR = true
+		c.mu.Unlock()
+		if first {
+			time.Sleep(time.Duration(c.slot.DelayMs) * time.Millisecond)
+		}
+	case KindThrottle:
+		if len(p) > throttleChunk {
+			p = p[:throttleChunk]
+		}
+		n, err := c.Conn.Read(p)
+		c.pace(n)
+		return n, err
+	case KindStall:
+		// The write side stalls first on every cluster exchange (the
+		// dialer speaks first); a pure reader just waits out the tear.
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	switch c.slot.Kind {
+	case KindDelay:
+		c.mu.Lock()
+		first := !c.delayedW
+		c.delayedW = true
+		c.mu.Unlock()
+		if first {
+			time.Sleep(time.Duration(c.slot.DelayMs) * time.Millisecond)
+		}
+	case KindThrottle:
+		total := 0
+		for len(p) > 0 {
+			chunk := p
+			if len(chunk) > throttleChunk {
+				chunk = chunk[:throttleChunk]
+			}
+			n, err := c.Conn.Write(chunk)
+			total += n
+			c.pace(n)
+			if err != nil {
+				return total, err
+			}
+			p = p[n:]
+		}
+		return total, nil
+	case KindStall:
+		time.Sleep(time.Duration(c.slot.StallMs) * time.Millisecond)
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("%w: half-open stall after %dms", ErrInjected, c.slot.StallMs)
+	case KindReset, KindTear:
+		c.mu.Lock()
+		room := c.slot.CutAfter - c.written
+		c.mu.Unlock()
+		if room >= len(p) {
+			n, err := c.Conn.Write(p)
+			c.mu.Lock()
+			c.written += n
+			c.mu.Unlock()
+			return n, err
+		}
+		// The cut point falls inside this write.
+		n := 0
+		if c.slot.Kind == KindTear && room > 0 {
+			n, _ = c.Conn.Write(p[:room]) // deliver a frame prefix: a short-read tear for the peer
+		}
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("%w: connection %s after %d bytes", ErrInjected, c.slot.Kind, c.slot.CutAfter)
+	}
+	return c.Conn.Write(p)
+}

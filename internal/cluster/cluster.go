@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/contact"
 	"repro/internal/node"
 )
@@ -28,6 +29,17 @@ type Config struct {
 	Shares    int
 	Threshold int
 	Timeout   time.Duration
+	// ContactBudget caps each contact connection's total wall time
+	// (0 = uncapped); see DaemonConfig.ContactBudget.
+	ContactBudget time.Duration
+	// JoinWait bounds each daemon's directory-registration retries
+	// (0 = a single attempt); see DaemonConfig.JoinWait.
+	JoinWait time.Duration
+	// Retry shapes every daemon's backoff/circuit-breaker discipline.
+	Retry RetryPolicy
+	// Chaos, when set, is shared by every daemon: all outbound
+	// connections pass through the seed-driven turbulence layer.
+	Chaos *chaos.Chaos
 }
 
 // Cluster is a launched loopback cluster.
@@ -35,6 +47,12 @@ type Cluster struct {
 	cfg     Config
 	dir     *Dir
 	daemons []*Daemon
+
+	// peerAddrs caches each daemon's listening address at launch so a
+	// replay can keep scheduling contacts while the directory is dark
+	// (daemon addresses are stable across a directory blackout — only
+	// daemon restarts move them, and those re-register).
+	peerAddrs []string
 }
 
 // Launch starts the directory and all daemons. On any failure the
@@ -54,23 +72,65 @@ func Launch(cfg Config) (*Cluster, error) {
 	if err := dir.Start("127.0.0.1:0"); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, dir: dir, daemons: make([]*Daemon, cfg.Nodes)}
+	c := &Cluster{
+		cfg:       cfg,
+		dir:       dir,
+		daemons:   make([]*Daemon, cfg.Nodes),
+		peerAddrs: make([]string, cfg.Nodes),
+	}
 	for id := 0; id < cfg.Nodes; id++ {
 		d, err := StartDaemon(DaemonConfig{
-			ID:           id,
-			DirAddr:      dir.Addr(),
-			BufferLimit:  cfg.BufferLimit,
-			ReofferLimit: cfg.ReofferLimit,
-			Spray:        cfg.Spray,
-			Timeout:      cfg.Timeout,
+			ID:            id,
+			DirAddr:       dir.Addr(),
+			BufferLimit:   cfg.BufferLimit,
+			ReofferLimit:  cfg.ReofferLimit,
+			Spray:         cfg.Spray,
+			Timeout:       cfg.Timeout,
+			ContactBudget: cfg.ContactBudget,
+			JoinWait:      cfg.JoinWait,
+			Retry:         cfg.Retry,
+			Chaos:         cfg.Chaos,
 		})
 		if err != nil {
 			_ = c.Close()
 			return nil, fmt.Errorf("cluster: start daemon %d: %w", id, err)
 		}
 		c.daemons[id] = d
+		c.peerAddrs[id] = d.Addr()
 	}
 	return c, nil
+}
+
+// peerAddr resolves node id's contact address: the directory's live
+// registration when it answers, falling back to the launch-time cache
+// so contacts keep flowing through a directory blackout.
+func (c *Cluster) peerAddr(id contact.NodeID) (string, bool) {
+	if addr, ok := c.dir.MemberAddr(id); ok {
+		return addr, true
+	}
+	if id >= 0 && int(id) < len(c.peerAddrs) && c.peerAddrs[id] != "" {
+		return c.peerAddrs[id], true
+	}
+	return "", false
+}
+
+// Nodes returns the launched daemons in id order.
+func (c *Cluster) Nodes() []*Daemon {
+	return append([]*Daemon(nil), c.daemons...)
+}
+
+// Revalidate asks every daemon to re-register with the directory and
+// verify its welcome still matches the joined view (see
+// Daemon.Revalidate) — the reconciliation step after a directory
+// blackout ends.
+func (c *Cluster) Revalidate() error {
+	var errs []error
+	for _, d := range c.daemons {
+		if d != nil {
+			errs = append(errs, d.Revalidate())
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Dir returns the directory service.

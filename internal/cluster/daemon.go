@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/contact"
 	"repro/internal/groups"
 	"repro/internal/node"
@@ -31,6 +33,22 @@ type DaemonConfig struct {
 	// keeps making progress may run longer than Timeout while a stalled
 	// one is torn down within it (default 10s).
 	Timeout time.Duration
+	// ContactBudget caps the total wall time of one contact connection
+	// (0 = uncapped). Per-I/O refresh treats any progress as liveness,
+	// so without a budget a maliciously slow peer trickling one byte
+	// per second can pin a contact forever.
+	ContactBudget time.Duration
+	// JoinWait is how long a starting (or revalidating) daemon keeps
+	// retrying its directory registration with backoff before giving
+	// up (0 = a single attempt). A node started before its directory
+	// is listening comes up as soon as the directory does.
+	JoinWait time.Duration
+	// Retry shapes the backoff and circuit-breaker discipline for
+	// dials and registrations; zero fields get defaults.
+	Retry RetryPolicy
+	// Chaos, when set, injects seed-driven network turbulence into
+	// every outbound connection (see internal/chaos).
+	Chaos *chaos.Chaos
 }
 
 // Daemon is one DTN node running as a network service: it joins the
@@ -42,14 +60,22 @@ type Daemon struct {
 	cfg  DaemonConfig
 	node *node.Node
 
-	mu          sync.Mutex
-	lis         net.Listener
-	addr        string
-	incarnation uint64
-	conns       map[net.Conn]struct{}
-	closed      bool
-	quit        chan struct{} // closed when the current incarnation stops
-	wg          sync.WaitGroup
+	mu             sync.Mutex
+	lis            net.Listener
+	addr           string
+	incarnation    uint64
+	dirIncarnation uint64   // last directory incarnation seen in a welcome
+	viewDigest     [32]byte // digest of the first welcome's partition + keys
+	conns          map[net.Conn]struct{}
+	closed         bool
+	quit           chan struct{} // closed when the current incarnation stops
+	wg             sync.WaitGroup
+
+	// Self-healing state (retry.go): per-peer circuit breakers and the
+	// timing-jitter stream, both created lazily under retryMu.
+	retryMu  sync.Mutex
+	breakers map[string]*breaker
+	jitter   *rng.Stream
 }
 
 // ContactReport summarizes one live contact from the initiator's view.
@@ -68,6 +94,11 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
+	if cfg.Chaos != nil && cfg.JoinWait <= 0 {
+		// Under injected turbulence a first registration can be faulted;
+		// a single-attempt join would make Launch flaky by design.
+		cfg.JoinWait = 10 * time.Second
+	}
 	d := &Daemon{
 		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
@@ -85,7 +116,12 @@ func (d *Daemon) open(incarnation uint64, preserveCustody bool) error {
 	if err != nil {
 		return fmt.Errorf("cluster: daemon %d listen: %w", d.cfg.ID, err)
 	}
-	welcome, err := d.register(lis.Addr().String(), incarnation)
+	welcome, err := d.registerWithRetry(lis.Addr().String(), incarnation)
+	if err != nil {
+		_ = lis.Close()
+		return err
+	}
+	digest, err := welcomeDigest(welcome)
 	if err != nil {
 		_ = lis.Close()
 		return err
@@ -102,6 +138,17 @@ func (d *Daemon) open(incarnation uint64, preserveCustody bool) error {
 		}
 		d.node.SetReofferLimit(d.cfg.ReofferLimit)
 	} else {
+		// Rejoin after a crash/restart: the welcome must describe the
+		// same partition and keys this node already routes with — a
+		// directory that lost its key material would silently orphan
+		// every in-flight onion.
+		d.mu.Lock()
+		prev := d.viewDigest
+		d.mu.Unlock()
+		if digest != prev {
+			_ = lis.Close()
+			return fmt.Errorf("cluster: daemon %d rejoin: directory welcome diverged from the joined view", d.cfg.ID)
+		}
 		// Crash/restart: volatile custody is lost unless persisted;
 		// durable logs (delivered, seen, acks) survive.
 		d.node.Crash(preserveCustody)
@@ -110,6 +157,8 @@ func (d *Daemon) open(incarnation uint64, preserveCustody bool) error {
 	d.lis = lis
 	d.addr = lis.Addr().String()
 	d.incarnation = incarnation
+	d.dirIncarnation = welcome.DirIncarnation
+	d.viewDigest = digest
 	d.closed = false
 	d.quit = make(chan struct{})
 	d.mu.Unlock()
@@ -139,9 +188,24 @@ func buildView(w *welcomeMsg) (*groups.Directory, error) {
 	return dir, nil
 }
 
-// register joins the directory and returns the welcome.
+// dialDir opens one connection to the directory, through the chaos
+// layer when one is configured.
+func (d *Daemon) dialDir() (net.Conn, error) {
+	if ch := d.cfg.Chaos; ch != nil {
+		raw, err := ch.DialDir(d.cfg.DirAddr, func(a string) (net.Conn, error) {
+			return rawDial(a, d.cfg.Timeout)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return withIODeadline(raw, d.cfg.Timeout, 0), nil
+	}
+	return dial(d.cfg.DirAddr, d.cfg.Timeout, 0)
+}
+
+// register joins the directory once and returns the welcome.
 func (d *Daemon) register(addr string, incarnation uint64) (*welcomeMsg, error) {
-	conn, err := dial(d.cfg.DirAddr, d.cfg.Timeout)
+	conn, err := d.dialDir()
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +221,117 @@ func (d *Daemon) register(addr string, incarnation uint64) (*welcomeMsg, error) 
 	return &welcome, nil
 }
 
+// registerWithRetry keeps re-attempting the directory registration with
+// jittered exponential backoff for up to JoinWait (one attempt when
+// JoinWait is zero). This is what lets a dtnnode started before its
+// dtndir — or revalidating through a directory blackout — come up the
+// moment the directory is reachable instead of dying on the first
+// refused dial.
+func (d *Daemon) registerWithRetry(addr string, incarnation uint64) (*welcomeMsg, error) {
+	br := d.breakerFor(d.cfg.DirAddr)
+	w, err := d.register(addr, incarnation)
+	if err == nil {
+		br.success()
+		return w, nil
+	}
+	br.failure(time.Now())
+	if d.cfg.JoinWait <= 0 {
+		return nil, err
+	}
+	pol := d.cfg.Retry.filled()
+	deadline := time.Now().Add(d.cfg.JoinWait)
+	for attempt := 0; ; attempt++ {
+		wait := pol.backoff(attempt, d.jitterFloat)
+		if bw := br.wait(time.Now()); bw > wait {
+			wait = bw
+		}
+		// A chaos partition hint is a better estimate than backoff.
+		var blocked *chaos.BlockedError
+		if errors.As(err, &blocked) && blocked.Wait > wait {
+			wait = blocked.Wait
+		}
+		if time.Now().Add(wait).After(deadline) {
+			return nil, fmt.Errorf("cluster: daemon %d register: join window %v exhausted: %w", d.cfg.ID, d.cfg.JoinWait, err)
+		}
+		d.sleepRetry(wait)
+		if w, err = d.register(addr, incarnation); err == nil {
+			br.success()
+			return w, nil
+		}
+		br.failure(time.Now())
+	}
+}
+
+// welcomeDigest condenses a welcome's routing-relevant content — the
+// partition and every recovered layer key — into one comparable value.
+// Two welcomes with equal digests produce byte-identical node views.
+func welcomeDigest(w *welcomeMsg) ([32]byte, error) {
+	groupKeys, nodeKeys, err := recoverKeys(w)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "n=%d g=%d t=%d;", w.N, w.G, w.Threshold)
+	for _, gid := range w.Assignment {
+		fmt.Fprintf(h, "%d,", gid)
+	}
+	for gid := 0; gid < len(groupKeys); gid++ {
+		h.Write(groupKeys[onion.GroupID(gid)])
+	}
+	for _, k := range nodeKeys {
+		h.Write(k)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+// Revalidate re-registers with the directory at the next incarnation
+// and verifies the welcome still matches the view this node joined
+// with: same partition, same recovered keys (so no Shamir share was
+// re-issued from fresh key material), and a directory incarnation that
+// never moves backwards. It is how a node that kept meeting through a
+// directory blackout reconciles with the returned directory.
+func (d *Daemon) Revalidate() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("cluster: daemon %d is stopped", d.cfg.ID)
+	}
+	addr := d.addr
+	next := d.incarnation + 1
+	prevDirInc := d.dirIncarnation
+	prevDigest := d.viewDigest
+	d.mu.Unlock()
+	w, err := d.registerWithRetry(addr, next)
+	if err != nil {
+		return err
+	}
+	digest, err := welcomeDigest(w)
+	if err != nil {
+		return err
+	}
+	if digest != prevDigest {
+		return fmt.Errorf("cluster: daemon %d revalidate: directory returned with a different partition or keys", d.cfg.ID)
+	}
+	if w.DirIncarnation < prevDirInc {
+		return fmt.Errorf("cluster: daemon %d revalidate: directory incarnation went backwards (%d < %d)", d.cfg.ID, w.DirIncarnation, prevDirInc)
+	}
+	d.mu.Lock()
+	d.incarnation = next
+	d.dirIncarnation = w.DirIncarnation
+	d.mu.Unlock()
+	return nil
+}
+
+// DirIncarnation returns the directory incarnation from the most
+// recent welcome this daemon accepted.
+func (d *Daemon) DirIncarnation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dirIncarnation
+}
+
 // Addr returns the daemon's current listening address.
 func (d *Daemon) Addr() string {
 	d.mu.Lock()
@@ -166,6 +341,9 @@ func (d *Daemon) Addr() string {
 
 // Node exposes the underlying node for test assertions.
 func (d *Daemon) Node() *node.Node { return d.node }
+
+// ID returns the daemon's node id.
+func (d *Daemon) ID() int { return d.cfg.ID }
 
 // Incarnation returns the daemon's current membership incarnation.
 func (d *Daemon) Incarnation() uint64 {
@@ -236,7 +414,7 @@ func (d *Daemon) Close() error {
 	}
 	inc := d.incarnation
 	d.mu.Unlock()
-	if conn, err := dial(d.cfg.DirAddr, d.cfg.Timeout); err == nil {
+	if conn, err := dial(d.cfg.DirAddr, d.cfg.Timeout, 0); err == nil {
 		_ = writeJSON(conn, mLeave, leaveMsg{ID: d.cfg.ID, Incarnation: inc})
 		_ = readExpect(conn, mOK, nil)
 		_ = conn.Close()
@@ -281,13 +459,15 @@ func (d *Daemon) serve(conn net.Conn) {
 	// Per-I/O deadline refresh: progress keeps the connection alive, a
 	// stall still times out within Timeout. The raw conn stays in
 	// d.conns so Kill() can tear it down.
-	rw := withIODeadline(conn, d.cfg.Timeout)
+	rw := withIODeadline(conn, d.cfg.Timeout, 0)
 	typ, body, err := readMsg(rw)
 	if err != nil {
 		return
 	}
 	if typ == mHello {
-		d.serveContact(rw, body)
+		// Contact sessions additionally get the per-contact wall budget;
+		// control sessions stay open for a whole replay and must not.
+		d.serveContact(withIODeadline(conn, d.cfg.Timeout, d.cfg.ContactBudget), body)
 		return
 	}
 	for {
@@ -366,37 +546,102 @@ func (d *Daemon) serveControl(conn net.Conn, typ byte, body []byte) error {
 	}
 }
 
+// dialContact opens one contact connection to a peer, through the
+// chaos layer when one is configured, with the per-contact wall budget.
+func (d *Daemon) dialContact(peer contact.NodeID, addr string) (net.Conn, error) {
+	if ch := d.cfg.Chaos; ch != nil {
+		raw, err := ch.DialPeer(d.cfg.ID, int(peer), addr, func(a string) (net.Conn, error) {
+			return rawDial(a, d.cfg.Timeout)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return withIODeadline(raw, d.cfg.Timeout, d.cfg.ContactBudget), nil
+	}
+	return dial(addr, d.cfg.Timeout, d.cfg.ContactBudget)
+}
+
 // Contact runs one live contact as the initiator, mirroring
 // Network.Meet's order: the initiator offers first, then the peer.
 // Custody is only released on a read accept-verdict, so a connection
 // torn anywhere in the exchange leaves every unacknowledged onion with
 // its current custodian — the next contact re-offers it.
+//
+// Failures during the contact preamble — the dial, the hello, the
+// hello ack, anything before a custody hand-off could have begun — are
+// retried here with jittered backoff behind a per-peer circuit
+// breaker: nothing protocol-visible happened yet, so a retry is
+// indistinguishable from a slightly later first attempt. The moment
+// custody negotiation has begun in either direction the attempt is
+// final: a retried offer whose verdict was lost could double custody,
+// so the DTN discipline (re-offer at the NEXT contact) applies
+// instead.
 func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (ContactReport, error) {
-	var rep ContactReport
-	conn, err := dial(addr, d.cfg.Timeout)
+	pol := d.cfg.Retry.filled()
+	br := d.breakerFor(addr)
+	deadline := time.Now().Add(pol.Budget)
+	var attempt int
+	for {
+		if wait := br.wait(time.Now()); wait > 0 {
+			if time.Now().Add(wait).After(deadline) {
+				return ContactReport{}, fmt.Errorf("cluster: contact %d->%d: circuit breaker open for %s", d.cfg.ID, peer, addr)
+			}
+			d.sleepRetry(wait)
+		}
+		rep, progressed, err := d.contactOnce(peer, addr, now)
+		if err == nil {
+			br.success()
+			return rep, nil
+		}
+		br.failure(time.Now())
+		if progressed {
+			return rep, err
+		}
+		wait := pol.backoff(attempt, d.jitterFloat)
+		var blocked *chaos.BlockedError
+		if errors.As(err, &blocked) && blocked.Wait > wait {
+			wait = blocked.Wait
+		}
+		attempt++
+		if time.Now().Add(wait).After(deadline) {
+			return rep, fmt.Errorf("cluster: contact %d->%d: retries exhausted after %d attempts: %w", d.cfg.ID, peer, attempt, err)
+		}
+		d.sleepRetry(wait)
+	}
+}
+
+// contactOnce is one attempt at a contact. progressed reports whether
+// custody negotiation had begun — an offer written, or a peer offer
+// received — before the failure; un-progressed attempts are safe to
+// retry on a fresh connection.
+func (d *Daemon) contactOnce(peer contact.NodeID, addr string, now float64) (rep ContactReport, progressed bool, err error) {
+	conn, err := d.dialContact(peer, addr)
 	if err != nil {
-		return rep, err
+		return rep, false, err
 	}
 	defer conn.Close()
 	frames := 0
 	d.node.Expire(now)
 	hello := helloMsg{Version: protoVersion, From: d.cfg.ID, To: int(peer), Now: now}
 	if err := writeJSON(conn, mHello, hello); err != nil {
-		return rep, err
+		return rep, false, err
 	}
 	if err := readExpect(conn, mOK, nil); err != nil {
-		return rep, fmt.Errorf("cluster: contact %d->%d: %w", d.cfg.ID, peer, err)
+		return rep, false, fmt.Errorf("cluster: contact %d->%d: %w", d.cfg.ID, peer, err)
 	}
 	frames += 2
 
 	// Outbound half: offer, await verdict, release custody on accept.
 	for _, off := range d.node.OffersTo(peer, d.cfg.Spray) {
+		// From the first offer byte on, a failure is custody-ambiguous:
+		// the peer may or may not have ingested the copy, so no retry.
+		progressed = true
 		if err := writeMsg(conn, mOffer, offerBody(off.Hops, off.Frame)); err != nil {
-			return rep, err
+			return rep, progressed, err
 		}
 		var v verdictMsg
 		if err := readExpect(conn, mVerdict, &v); err != nil {
-			return rep, err
+			return rep, progressed, err
 		}
 		frames += 2
 		rep.Offered++
@@ -414,7 +659,7 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 		}
 	}
 	if err := writeMsg(conn, mEndOffers, nil); err != nil {
-		return rep, err
+		return rep, progressed, err
 	}
 	frames++
 
@@ -422,15 +667,18 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 	for {
 		typ, body, err := readMsg(conn)
 		if err != nil {
-			return rep, err
+			return rep, progressed, err
 		}
 		frames++
 		if typ == mContactDone {
 			break
 		}
 		if typ != mOffer {
-			return rep, fmt.Errorf("cluster: contact %d->%d: unexpected message type %d", d.cfg.ID, peer, typ)
+			return rep, progressed, fmt.Errorf("cluster: contact %d->%d: unexpected message type %d", d.cfg.ID, peer, typ)
 		}
+		// A received offer is about to be ingested; a lost verdict from
+		// here on duplicates custody if the attempt were replayed.
+		progressed = true
 		verdict := d.takeOffer(body)
 		rep.Offered++
 		if verdict.Accepted {
@@ -442,7 +690,7 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 			rep.Rejected++
 		}
 		if err := writeJSON(conn, mVerdict, verdict); err != nil {
-			return rep, err
+			return rep, progressed, err
 		}
 		frames++
 	}
@@ -459,7 +707,7 @@ func (d *Daemon) Contact(peer contact.NodeID, addr string, now float64) (Contact
 		c.Observe(obs.HistContactTransfers, int64(rep.Transfers))
 		c.RecordMax(obs.NodeCustodyHighWater, int64(d.node.BufferLen()))
 	}
-	return rep, nil
+	return rep, progressed, nil
 }
 
 // serveContact is the passive side of a contact.

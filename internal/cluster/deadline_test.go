@@ -167,6 +167,44 @@ func TestStalledConnectionTimesOut(t *testing.T) {
 	}
 }
 
+// TestContactBudgetCapsTrickle: per-I/O deadline refresh treats any
+// progress as liveness, so a peer trickling one byte per second could
+// pin a contact forever. ContactBudget clamps every refreshed deadline
+// to a per-connection wall cap, bounding the whole contact.
+func TestContactBudgetCapsTrickle(t *testing.T) {
+	const budget = 700 * time.Millisecond
+	c, err := Launch(Config{
+		Nodes: 3, GroupSize: 1, Seed: 37, Spray: true,
+		Timeout:       5 * time.Second,
+		ContactBudget: budget,
+		// No preamble retries: the point is the cap, not the recovery.
+		Retry: RetryPolicy{Budget: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	d0 := c.Daemon(0)
+	spec := node.SendSpec{Dst: 2, Payload: []byte("trickle"), Relays: 1, Copies: 3, ID: fmt.Sprintf("%032x", 0x200)}
+	if _, err := d0.Send(spec, PathStream(37, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One byte per second: each byte refreshes the 5s I/O deadline, so
+	// without the wall cap the hello ack alone would take ~7s and the
+	// contact would still "succeed" eventually.
+	proxyAddr := throttledProxy(t, c.Daemon(1).Addr(), 1, time.Second)
+	start := time.Now()
+	_, err = d0.Contact(1, proxyAddr, 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("one-byte-per-second contact completed (%v) despite a %v budget", elapsed, budget)
+	}
+	if elapsed > 3*budget {
+		t.Fatalf("contact lived %v, want teardown within ~%v", elapsed, budget)
+	}
+}
+
 // TestClusterRefusalChargesReofferBudget: a buffer-full verdict over
 // the wire charges the sender's re-offer budget; once exhausted the
 // copy is dropped (BackpressureDropped) instead of re-offered forever.

@@ -75,12 +75,40 @@ type Dir struct {
 	groupKeys map[onion.GroupID][]byte
 	nodeKeys  [][]byte
 
-	mu      sync.Mutex
-	members map[contact.NodeID]registration
-	lis     net.Listener
-	conns   map[net.Conn]struct{}
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	members  map[contact.NodeID]registration
+	lis      net.Listener
+	lastAddr string // actual bound address, so Restart rebinds the same port
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// incarnation numbers this directory's own lifetime; it starts at 1
+	// and bumps on every Restart so returning nodes can assert the
+	// bulletin board never moves backwards.
+	incarnation uint64
+	audit       DirAudit
+}
+
+// RegEvent is one admitted registration, in admission order.
+type RegEvent struct {
+	Node        int
+	Incarnation uint64
+}
+
+// DirAudit is the directory's issuance ledger: how many welcomes were
+// served and with how many Shamir shares each, plus every admitted
+// registration. The invariant checker uses it to prove the share
+// threshold was never exceeded (each welcome carries exactly Threshold
+// shares per key — the minimum that reconstructs) even across
+// directory crashes and restarts.
+type DirAudit struct {
+	Welcomes      int
+	MinShares     int // fewest shares any welcome carried per key
+	MaxShares     int // most shares any welcome carried per key
+	Threshold     int
+	Incarnation   uint64
+	Registrations []RegEvent
 }
 
 // NewDir provisions the partition and key material without opening a
@@ -112,12 +140,13 @@ func NewDir(cfg DirConfig) (*Dir, error) {
 		return nil, err
 	}
 	return &Dir{
-		cfg:       cfg,
-		dir:       dir,
-		groupKeys: groupKeys,
-		nodeKeys:  nodeKeys,
-		members:   make(map[contact.NodeID]registration),
-		conns:     make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		dir:         dir,
+		groupKeys:   groupKeys,
+		nodeKeys:    nodeKeys,
+		members:     make(map[contact.NodeID]registration),
+		conns:       make(map[net.Conn]struct{}),
+		incarnation: 1,
 	}, nil
 }
 
@@ -135,10 +164,79 @@ func (d *Dir) Start(addr string) error {
 		return errors.New("cluster: dir already closed")
 	}
 	d.lis = lis
+	d.lastAddr = lis.Addr().String()
 	d.mu.Unlock()
 	d.wg.Add(1)
 	go d.acceptLoop(lis)
 	return nil
+}
+
+// Stop simulates a directory crash: the listener and every open
+// connection die and the volatile membership table is lost, while the
+// partition and key material — provisioned once in NewDir — survive,
+// as a deployment's would on disk. Regenerating keys instead would
+// silently orphan every in-flight onion. Restart brings the directory
+// back on the same address at the next incarnation.
+func (d *Dir) Stop() {
+	d.mu.Lock()
+	d.closed = true
+	lis := d.lis
+	d.lis = nil
+	for conn := range d.conns {
+		_ = conn.Close()
+	}
+	d.members = make(map[contact.NodeID]registration)
+	d.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	d.wg.Wait()
+}
+
+// Restart brings a stopped directory back on its previous address at
+// the next incarnation. Membership starts empty — nodes reconcile by
+// re-registering (Daemon.Revalidate) — while partition and keys are
+// the ones provisioned in NewDir, so welcomes served before and after
+// the crash are interchangeable.
+func (d *Dir) Restart() error {
+	d.mu.Lock()
+	if !d.closed {
+		d.mu.Unlock()
+		return errors.New("cluster: dir is still running")
+	}
+	addr := d.lastAddr
+	if addr == "" {
+		d.mu.Unlock()
+		return errors.New("cluster: dir was never started")
+	}
+	d.closed = false
+	d.incarnation++
+	d.mu.Unlock()
+	if err := d.Start(addr); err != nil {
+		d.mu.Lock()
+		d.closed = true
+		d.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Incarnation returns the directory's current lifetime number.
+func (d *Dir) Incarnation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.incarnation
+}
+
+// Audit returns a snapshot of the issuance ledger.
+func (d *Dir) Audit() DirAudit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.audit
+	out.Threshold = d.cfg.Threshold
+	out.Incarnation = d.incarnation
+	out.Registrations = append([]RegEvent(nil), d.audit.Registrations...)
+	return out
 }
 
 // Addr returns the listening address.
@@ -221,7 +319,7 @@ func (d *Dir) serve(raw net.Conn) {
 	// Per-I/O deadline refresh: a slow-but-progressing welcome download
 	// survives, a stalled peer is torn down within Timeout. The raw
 	// conn stays keyed in d.conns so Close() can tear it down.
-	conn := withIODeadline(raw, d.cfg.Timeout)
+	conn := withIODeadline(raw, d.cfg.Timeout, 0)
 	typ, body, err := readMsg(conn)
 	if err != nil {
 		return
@@ -296,6 +394,7 @@ func (d *Dir) register(reg registerMsg) (*welcomeMsg, error) {
 		}
 	}
 	d.members[contact.NodeID(reg.ID)] = registration{addr: reg.Addr, incarnation: reg.Incarnation}
+	d.audit.Registrations = append(d.audit.Registrations, RegEvent{Node: reg.ID, Incarnation: reg.Incarnation})
 	d.mu.Unlock()
 	if c := obs.Active(); c != nil {
 		c.Add(obs.ClusterRegistrations, 1)
@@ -357,6 +456,25 @@ func (d *Dir) welcome() (*welcomeMsg, error) {
 			return nil, err
 		}
 	}
+	minS, maxS := int(^uint(0)>>1), 0
+	for _, kw := range w.Keys {
+		if len(kw.Shares) < minS {
+			minS = len(kw.Shares)
+		}
+		if len(kw.Shares) > maxS {
+			maxS = len(kw.Shares)
+		}
+	}
+	d.mu.Lock()
+	w.DirIncarnation = d.incarnation
+	d.audit.Welcomes++
+	if d.audit.Welcomes == 1 || minS < d.audit.MinShares {
+		d.audit.MinShares = minS
+	}
+	if maxS > d.audit.MaxShares {
+		d.audit.MaxShares = maxS
+	}
+	d.mu.Unlock()
 	return w, nil
 }
 

@@ -1,0 +1,100 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/invariant"
+	"repro/internal/node"
+)
+
+const (
+	msgA = "000102030405060708090a0b0c0d0e0f"
+	msgB = "ffff0000111122223333444455556666"
+)
+
+// launchTrio pins the deterministic 3-node topology the fault suite
+// uses: singleton groups force 0 -> 1 to route through node 2.
+func launchTrio(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Launch(cluster.Config{Nodes: 3, GroupSize: 1, Seed: 21, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// routeOne sends msgA from 0 to 1 through relay 2 and completes both
+// hand-offs.
+func routeOne(t *testing.T, c *cluster.Cluster, copies int) {
+	t.Helper()
+	spec := node.SendSpec{Dst: 1, Payload: []byte("inv"), Relays: 1, Copies: copies, ID: msgA}
+	if _, err := c.Daemon(0).Send(spec, cluster.PathStream(21, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Daemon(0).Contact(2, c.Daemon(2).Addr(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Daemon(2).Contact(1, c.Daemon(1).Addr(), 2.0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckCleanRun: a faultless delivery satisfies every rule family.
+func TestCheckCleanRun(t *testing.T) {
+	c := launchTrio(t)
+	routeOne(t, c, 1)
+	rep := invariant.Check(c, invariant.Spec{Messages: []invariant.Message{
+		{ID: msgA, Src: 0, Dst: 1, Copies: 1},
+	}})
+	if !rep.Clean() {
+		t.Fatalf("clean run violated invariants: %v", rep.Err())
+	}
+	if rep.Rules != 5 || rep.Messages != 1 {
+		t.Fatalf("report coverage: %+v", rep)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("clean report produced an error: %v", rep.Err())
+	}
+}
+
+// TestCheckFlagsMisdeliveryAndLoss: a spec claiming a different
+// destination trips exactly-once, and a message the workload claims to
+// have sent but that is nowhere in the cluster trips conservation.
+func TestCheckFlagsMisdeliveryAndLoss(t *testing.T) {
+	c := launchTrio(t)
+	routeOne(t, c, 1)
+	rep := invariant.Check(c, invariant.Spec{Messages: []invariant.Message{
+		{ID: msgA, Src: 0, Dst: 2, Copies: 1}, // actually delivered at 1
+		{ID: msgB, Src: 0, Dst: 1, Copies: 1}, // never sent: vanished
+	}})
+	if rep.Clean() {
+		t.Fatal("misdelivery and loss went undetected")
+	}
+	err := rep.Err().Error()
+	if !strings.Contains(err, "exactly-once") {
+		t.Fatalf("misdelivery not attributed to exactly-once: %v", err)
+	}
+	if !strings.Contains(err, "custody-conservation") {
+		t.Fatalf("lost bundle not attributed to custody-conservation: %v", err)
+	}
+}
+
+// TestCheckTicketBound: more tickets in the fleet than the declared
+// copy budget is minting, not spraying.
+func TestCheckTicketBound(t *testing.T) {
+	c := launchTrio(t)
+	spec := node.SendSpec{Dst: 1, Payload: []byte("inv"), Relays: 1, Copies: 2, ID: msgA}
+	if _, err := c.Daemon(0).Send(spec, cluster.PathStream(21, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rep := invariant.Check(c, invariant.Spec{Messages: []invariant.Message{
+		{ID: msgA, Src: 0, Dst: 1, Copies: 1}, // cluster holds 2 tickets
+	}})
+	if rep.Clean() || !strings.Contains(rep.Err().Error(), "ticket-bound") {
+		t.Fatalf("ticket minting not flagged: %v", rep.Err())
+	}
+}

@@ -109,6 +109,12 @@ type welcomeMsg struct {
 	Assignment []int32   `json:"assignment"`
 	Threshold  int       `json:"threshold"`
 	Keys       []keyWire `json:"keys"`
+	// DirIncarnation numbers the directory's own lifetime: it bumps on
+	// every directory restart, so a node that kept meeting through a
+	// blackout can tell a returned directory from a never-gone one and
+	// assert the bulletin board never moves backwards. Welcomes are
+	// parsed non-strict, so older daemons ignore the field.
+	DirIncarnation uint64 `json:"dir_incarnation,omitempty"`
 }
 
 type lookupMsg struct {
@@ -277,37 +283,60 @@ func decodeOffer(body []byte) (hops int, frame []byte, err error) {
 // custody to be needlessly re-offered; per-I/O refresh means progress
 // keeps a connection alive while a genuine stall still times out
 // within Timeout.
+//
+// Progress-as-liveness alone lets a maliciously slow peer — one byte
+// per second is still progress — pin a contact forever. The optional
+// wall cap bounds the whole connection: every refreshed deadline is
+// clamped to it, so a contact exceeding its ContactBudget dies with a
+// deadline error no matter how steadily bytes trickle.
 type ioDeadlineConn struct {
 	net.Conn
 	timeout time.Duration
+	wall    time.Time // zero = no per-connection wall cap
+}
+
+func (c ioDeadlineConn) deadline() time.Time {
+	dl := time.Now().Add(c.timeout)
+	if !c.wall.IsZero() && dl.After(c.wall) {
+		dl = c.wall
+	}
+	return dl
 }
 
 func (c ioDeadlineConn) Read(p []byte) (int, error) {
-	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+	if err := c.Conn.SetReadDeadline(c.deadline()); err != nil {
 		return 0, err
 	}
 	return c.Conn.Read(p)
 }
 
 func (c ioDeadlineConn) Write(p []byte) (int, error) {
-	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+	if err := c.Conn.SetWriteDeadline(c.deadline()); err != nil {
 		return 0, err
 	}
 	return c.Conn.Write(p)
 }
 
 // withIODeadline wraps conn so every I/O operation gets a fresh
-// deadline of timeout from now.
-func withIODeadline(conn net.Conn, timeout time.Duration) net.Conn {
-	if timeout <= 0 {
+// deadline of timeout from now, clamped to a total wall budget when
+// budget > 0.
+func withIODeadline(conn net.Conn, timeout, budget time.Duration) net.Conn {
+	if timeout <= 0 && budget <= 0 {
 		return conn
 	}
-	return ioDeadlineConn{Conn: conn, timeout: timeout}
+	if timeout <= 0 {
+		timeout = budget
+	}
+	c := ioDeadlineConn{Conn: conn, timeout: timeout}
+	if budget > 0 {
+		c.wall = time.Now().Add(budget)
+	}
+	return c
 }
 
-// dial opens a connection with the configured timeout; every I/O on it
-// refreshes its deadline (see ioDeadlineConn).
-func dial(addr string, timeout time.Duration) (net.Conn, error) {
+// rawDial opens a plain connection with the configured dial timeout
+// and counts it; callers layer deadlines (and chaos) on top.
+func rawDial(addr string, timeout time.Duration) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
@@ -315,7 +344,18 @@ func dial(addr string, timeout time.Duration) (net.Conn, error) {
 	if c := obs.Active(); c != nil {
 		c.Add(obs.ClusterDials, 1)
 	}
-	return withIODeadline(conn, timeout), nil
+	return conn, nil
+}
+
+// dial opens a connection with the configured timeout; every I/O on it
+// refreshes its deadline (see ioDeadlineConn), clamped to the wall
+// budget when budget > 0.
+func dial(addr string, timeout, budget time.Duration) (net.Conn, error) {
+	conn, err := rawDial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return withIODeadline(conn, timeout, budget), nil
 }
 
 // sendErr best-effort reports a request failure to the peer.

@@ -1,0 +1,149 @@
+package cluster
+
+// Self-healing discipline for the live tier: jittered exponential
+// backoff for dials and registrations, and a per-peer circuit breaker
+// so a dead or partitioned peer is probed on a cooldown instead of
+// hammered on every attempt. Both are timing-only mechanisms — they
+// decide when to try again, never what the protocol does — so they
+// cannot perturb the deterministic delivered set.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// RetryPolicy bounds one logical operation (a registration, a contact
+// preamble) across its retries. The zero value of each field gets a
+// sensible default.
+type RetryPolicy struct {
+	// Base is the first backoff sleep; each retry doubles it up to Max,
+	// then full jitter in [1/2, 1] de-synchronizes the fleet.
+	Base time.Duration // default 5ms
+	Max  time.Duration // default 200ms
+	// Budget caps the total wall time spent retrying one operation.
+	Budget time.Duration // default 3s
+	// BreakerThreshold consecutive failures to one peer trip its
+	// breaker open; while open, attempts wait out BreakerCooldown and
+	// then probe half-open.
+	BreakerThreshold int           // default 3
+	BreakerCooldown  time.Duration // default 150ms
+}
+
+func (p RetryPolicy) filled() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 5 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 200 * time.Millisecond
+	}
+	if p.Budget <= 0 {
+		p.Budget = 3 * time.Second
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 3
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 150 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (0-based),
+// exponential with full jitter drawn from the daemon's timing stream.
+func (p RetryPolicy) backoff(attempt int, jitter func() float64) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*jitter()))
+}
+
+// breaker is a per-peer circuit breaker. Closed: attempts flow.
+// After threshold consecutive failures it opens for cooldown; the
+// first attempt after the cooldown is the half-open probe — success
+// closes it, failure re-opens it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+// wait reports how long the breaker stays open from now (0 = attempts
+// may flow).
+func (b *breaker) wait(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.Before(b.openUntil) {
+		return b.openUntil.Sub(now)
+	}
+	return 0
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	wasOpen := now.Before(b.openUntil)
+	b.fails++
+	tripped := b.fails >= b.threshold
+	if tripped {
+		b.openUntil = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+	if tripped && !wasOpen {
+		if c := obs.Active(); c != nil {
+			c.Add(obs.BreakerOpens, 1)
+		}
+	}
+}
+
+// breakerFor returns (creating on first use) the breaker guarding addr.
+func (d *Daemon) breakerFor(addr string) *breaker {
+	pol := d.cfg.Retry.filled()
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	if d.breakers == nil {
+		d.breakers = make(map[string]*breaker)
+	}
+	b, ok := d.breakers[addr]
+	if !ok {
+		b = &breaker{threshold: pol.BreakerThreshold, cooldown: pol.BreakerCooldown}
+		d.breakers[addr] = b
+	}
+	return b
+}
+
+// jitterFloat draws one timing-jitter variate. The stream is seeded
+// per daemon and guarded by retryMu: it only shapes sleep durations,
+// never protocol decisions.
+func (d *Daemon) jitterFloat() float64 {
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	if d.jitter == nil {
+		d.jitter = rng.New(0x6261636b6f6666 ^ uint64(d.cfg.ID))
+	}
+	return d.jitter.Float64()
+}
+
+// sleepRetry sleeps d and counts the retry, unless the daemon is
+// shutting down.
+func (d *Daemon) sleepRetry(wait time.Duration) {
+	if c := obs.Active(); c != nil {
+		c.Add(obs.RetryAttempts, 1)
+	}
+	time.Sleep(wait)
+}

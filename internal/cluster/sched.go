@@ -81,7 +81,7 @@ func (c *Cluster) Replay(tr *trace.Trace, from, horizon float64, workers int) (i
 			if ct.A == ct.B {
 				return
 			}
-			addr, ok := c.dir.MemberAddr(ct.B)
+			addr, ok := c.peerAddr(ct.B)
 			if !ok {
 				errs[i] = fmt.Errorf("cluster: contact at t=%.3f: node %d not registered", ct.Start, ct.B)
 				return

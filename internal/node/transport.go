@@ -180,6 +180,28 @@ func (n *Node) DeliveredHops(msgID string) (int, bool) {
 	return h, ok
 }
 
+// CustodyRecord describes one onion currently held in the custody
+// buffer — the audit surface the cluster invariant checker walks to
+// prove conservation (no bundle vanishes without a recorded cause) and
+// the spray ticket bound (no copy set ever exceeds its budget).
+type CustodyRecord struct {
+	MsgID   string
+	Tickets int
+	Hops    int
+}
+
+// CustodySnapshot lists the buffer contents sorted by message ID.
+func (n *Node) CustodySnapshot() []CustodyRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]CustodyRecord, 0, len(n.buffer))
+	for id, c := range n.buffer {
+		out = append(out, CustodyRecord{MsgID: id, Tickets: c.tickets, Hops: c.hops})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MsgID < out[j].MsgID })
+	return out
+}
+
 // DeliveryRecords returns every delivery at this node, sorted by
 // message ID for deterministic comparison.
 func (n *Node) DeliveryRecords() []DeliveryRecord {

@@ -97,6 +97,14 @@ const (
 	DispatchLeases // trial-range leases acquired by this process
 	DispatchSteals // expired leases stolen back from dead or stalled workers
 
+	// internal/chaos + cluster self-healing (PR 10). Appended after the
+	// dispatch block so earlier manifest consumers keep their positional
+	// prefix.
+	ChaosInjected  // chaos faults applied: connection profiles, partition and blackout dial blocks
+	ChaosBlackouts // scheduled directory blackout windows executed by a harness
+	RetryAttempts  // backoff retries of dials, registrations, and contact preambles
+	BreakerOpens   // per-peer circuit breakers tripped open
+
 	numCounters
 )
 
@@ -139,6 +147,10 @@ var counterNames = [numCounters]string{
 	LoadInjected:          "load.injected",
 	LoadDelivered:         "load.delivered",
 	LoadSLOBreaches:       "load.slo_breaches",
+	ChaosInjected:         "chaos.injected",
+	ChaosBlackouts:        "chaos.blackouts",
+	RetryAttempts:         "retry.attempts",
+	BreakerOpens:          "breaker.opens",
 	CacheHits:             "cache.hits",
 	CacheMisses:           "cache.misses",
 	DispatchLeases:        "dispatch.leases",
